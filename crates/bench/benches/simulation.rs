@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the simulation substrate: flow-network rate
+//! solving and full training-step simulations for every system. These are
+//! the "one bench per figure" end-to-end targets at reduced size — the
+//! figure binaries (`cargo run --bin fig05` …) produce the full tables.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobius::{FineTuner, System};
+use mobius_model::GptConfig;
+use mobius_sim::FlowNetwork;
+use mobius_topology::{GpuSpec, Topology};
+
+fn bench_flow_network(c: &mut Criterion) {
+    c.bench_function("flow_network_32flows_rate_solve", |b| {
+        b.iter(|| {
+            let mut net = FlowNetwork::new();
+            let links: Vec<_> = (0..8).map(|i| net.add_link(format!("l{i}"), 13.1e9)).collect();
+            for i in 0..32u64 {
+                let path = vec![links[(i % 8) as usize], links[((i + 1) % 8) as usize]];
+                net.start_flow(path, 1e9, (i % 3) as u8, i);
+            }
+            std::hint::black_box(net.next_completion())
+        })
+    });
+}
+
+fn step(system: System) -> f64 {
+    FineTuner::new(GptConfig::gpt_3b())
+        .topology(Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]))
+        .system(system)
+        .mip_budget_ms(50)
+        .run_step()
+        .expect("3B runs on every system")
+        .step_time
+        .as_secs_f64()
+}
+
+fn bench_multi_step(c: &mut Criterion) {
+    use mobius_mapping::Mapping;
+    use mobius_pipeline::{evaluate_1f1b, simulate_steps, PipelineConfig, StageCosts};
+    use mobius_sim::SimTime;
+    let stages: Vec<StageCosts> = (0..8)
+        .map(|_| StageCosts {
+            fwd: SimTime::from_millis(10),
+            bwd: SimTime::from_millis(20),
+            param_bytes: 1 << 30,
+            grad_bytes: 1 << 30,
+            in_act_bytes: 1 << 20,
+            out_act_bytes: 1 << 20,
+            workspace_bytes: 0,
+        })
+        .collect();
+    let mapping = Mapping::sequential(8, 4);
+    let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
+    let cfg = PipelineConfig::mobius(4, 24 * (1u64 << 30), 13.1e9);
+    c.bench_function("simulate_3_steps_8stages", |b| {
+        b.iter(|| {
+            std::hint::black_box(simulate_steps(&stages, &mapping, &topo, &cfg, 3).unwrap())
+        })
+    });
+    c.bench_function("evaluate_1f1b_8x16", |b| {
+        b.iter(|| std::hint::black_box(evaluate_1f1b(&stages, 16, SimTime::ZERO).unwrap()))
+    });
+}
+
+fn bench_systems(c: &mut Criterion) {
+    // One end-to-end step per system (the Figure 5 cell at reduced size).
+    c.bench_function("fig05_cell_mobius_3b", |b| {
+        b.iter(|| std::hint::black_box(step(System::Mobius)))
+    });
+    c.bench_function("fig05_cell_deepspeed_3b", |b| {
+        b.iter(|| std::hint::black_box(step(System::DeepSpeedHetero)))
+    });
+    c.bench_function("fig05_cell_gpipe_3b", |b| {
+        b.iter(|| std::hint::black_box(step(System::Gpipe)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5));
+    targets = bench_flow_network, bench_multi_step, bench_systems
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the tensor substrate used by the convergence
+//! experiment (Figure 13): matmul kernels, one autograd step, and a short
+//! training run under both microbatch orders.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobius_tensor::{
+    train_loss_curve, Corpus, Rng, ScheduleOrder, Tape, Tensor, TinyGpt, TinyGptConfig,
+    TrainConfig,
+};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let a = Tensor::randn(64, 64, 1.0, &mut rng);
+    let b = Tensor::randn(64, 64, 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+    c.bench_function("matmul_nt_64x64", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul_nt(&b)))
+    });
+}
+
+fn bench_autograd_step(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let model = TinyGpt::new(TinyGptConfig::tiny(16), &mut rng);
+    let tokens: Vec<usize> = (0..33).map(|i| (i * 7 + 3) % 16).collect();
+    c.bench_function("tinygpt_fwd_bwd_seq32", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let (loss, _) = model.loss(&mut tape, &tokens);
+            tape.backward(loss);
+            std::hint::black_box(tape.value(loss).at(0, 0))
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let corpus = Corpus::synthetic(16, 10_000, 1);
+    let cfg = TrainConfig {
+        steps: 3,
+        seq_len: 24,
+        microbatches: 2,
+        lr: 3e-3,
+        seed: 1,
+    };
+    c.bench_function("fig13_train_3steps", |b| {
+        b.iter(|| {
+            std::hint::black_box(train_loss_curve(&corpus, &cfg, ScheduleOrder::Mobius))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5));
+    targets = bench_matmul, bench_autograd_step, bench_training
+}
+criterion_main!(benches);

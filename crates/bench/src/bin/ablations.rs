@@ -1,0 +1,7 @@
+//! Regenerates the design-choice ablation table. Pass `--quick` for a
+//! reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mobius_bench::experiments::ablations::run(quick).print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the five-system memory-capability ladder. Pass `--quick`
+//! for a reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mobius_bench::experiments::baselines::run(quick).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (pipeline timelines, sequential vs cross mapping).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mobius_bench::experiments::fig04::run(quick).print();
+}

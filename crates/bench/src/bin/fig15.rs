@@ -1,0 +1,8 @@
+//! Regenerates fig15 of the paper. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = quick;
+    let experiment = mobius_bench::experiments::fig15::run(quick);
+    experiment.print();
+}

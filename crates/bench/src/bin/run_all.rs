@@ -1,0 +1,17 @@
+//! Regenerates every table and figure and writes `experiments_output.md`
+//! next to the workspace root (the data behind EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiments = mobius_bench::experiments::run_all(quick);
+    let mut md = String::from("# Mobius reproduction — regenerated results\n\n");
+    for e in &experiments {
+        e.print();
+        let _ = writeln!(md, "{}", e.render_markdown());
+    }
+    let path = "experiments_output.md";
+    std::fs::write(path, md).expect("write experiments_output.md");
+    println!("wrote {path} ({} experiments)", experiments.len());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the GPipe vs 1F1B schedule comparison (extension).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mobius_bench::experiments::schedules::run(quick).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the first-step vs steady-state extension table.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mobius_bench::experiments::steady_state::run(quick).print();
+}

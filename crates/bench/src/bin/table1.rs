@@ -1,0 +1,8 @@
+//! Regenerates table1 of the paper. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = quick;
+    let experiment = mobius_bench::experiments::table1::run();
+    experiment.print();
+}

@@ -1,0 +1,67 @@
+//! Figure 13: training-loss equivalence of GPipe-order and Mobius-order
+//! schedules (the convergence experiment).
+//!
+//! The paper fine-tunes GPT-2 on WikiText-2; we train the in-repo tiny GPT
+//! on a synthetic Markov corpus (see `mobius-tensor`). Both schedules are
+//! synchronous, so the curves must coincide up to floating-point
+//! reassociation noise.
+
+use mobius_tensor::{curve_gap, train_loss_curve, Corpus, ScheduleOrder, TrainConfig};
+
+use crate::Experiment;
+
+/// Runs both schedules and returns `(steps, gpipe, mobius)` curves.
+pub fn curves(quick: bool) -> (TrainConfig, Vec<f32>, Vec<f32>) {
+    let cfg = TrainConfig {
+        steps: if quick { 30 } else { 120 },
+        seq_len: 32,
+        microbatches: 4,
+        lr: 3e-3,
+        seed: 42,
+    };
+    let corpus = Corpus::synthetic(16, 40_000, 3);
+    let gpipe = train_loss_curve(&corpus, &cfg, ScheduleOrder::Gpipe);
+    let mobius = train_loss_curve(&corpus, &cfg, ScheduleOrder::Mobius);
+    (cfg, gpipe, mobius)
+}
+
+/// Regenerates Figure 13.
+pub fn run(quick: bool) -> Experiment {
+    let mut e = Experiment::new(
+        "fig13",
+        "Training loss: GPipe vs Mobius schedules",
+        "the loss curves are almost overlapped; Mobius does not hurt \
+         convergence (both are synchronous updates)",
+    )
+    .columns(["step", "GPipe loss", "Mobius loss"]);
+    let (cfg, gpipe, mobius) = curves(quick);
+    let stride = (cfg.steps / 10).max(1);
+    for i in (0..cfg.steps).step_by(stride) {
+        e.push_row([
+            i.to_string(),
+            format!("{:.4}", gpipe[i]),
+            format!("{:.4}", mobius[i]),
+        ]);
+    }
+    let gap = curve_gap(&gpipe, &mobius);
+    let drop = gpipe[0] - gpipe[gpipe.len() - 1];
+    e.note(format!(
+        "max |gap| between the curves: {gap:.5}; total loss drop {drop:.3}"
+    ));
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_overlap_and_learn() {
+        let (_, gpipe, mobius) = curves(true);
+        let gap = curve_gap(&gpipe, &mobius);
+        assert!(gap < 0.05, "curves diverged by {gap}");
+        let head: f32 = gpipe[..3].iter().sum::<f32>() / 3.0;
+        let tail: f32 = gpipe[gpipe.len() - 3..].iter().sum::<f32>() / 3.0;
+        assert!(tail < head - 0.05, "no learning: {head:.3} -> {tail:.3}");
+    }
+}

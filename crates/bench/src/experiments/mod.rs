@@ -1,0 +1,50 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod baselines;
+pub mod fig02;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod schedules;
+pub mod steady_state;
+pub mod table1;
+
+use crate::Experiment;
+
+/// Runs every experiment in order. `quick` trades fidelity for speed
+/// (shorter solver budgets, fewer training steps) and is what the test
+/// suite uses; the shapes asserted hold in both modes.
+pub fn run_all(quick: bool) -> Vec<Experiment> {
+    vec![
+        table1::run(),
+        fig02::run(quick),
+        fig04::run(quick),
+        fig05::run(quick),
+        fig06::run(quick),
+        fig07::run(quick),
+        fig08::run(quick),
+        fig09::run(quick),
+        fig10::run(quick),
+        fig11::run(quick),
+        fig12::run(quick),
+        fig13::run(quick),
+        fig14::run(quick),
+        fig15::run(quick),
+        fig16::run(quick),
+        ablations::run(quick),
+        baselines::run(quick),
+        steady_state::run(quick),
+        schedules::run(quick),
+    ]
+}

@@ -1,0 +1,66 @@
+//! Table 1: performance and price comparison of a 3090-Ti and an A100.
+
+use mobius_topology::GpuSpec;
+
+use crate::Experiment;
+
+/// Regenerates Table 1 from the GPU catalog.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new(
+        "table1",
+        "3090-Ti vs A100 (GPU catalog)",
+        "7x price gap, 2x FP32 advantage for the 3090-Ti, similar tensor \
+         cores, no GPUDirect P2P or NVLink on the commodity card",
+    )
+    .columns(["metric", "3090-Ti", "A100"]);
+    let c = GpuSpec::rtx3090ti();
+    let d = GpuSpec::a100();
+    e.push_row([
+        "price".to_string(),
+        format!("${:.0}", c.price_usd),
+        format!("${:.0}", d.price_usd),
+    ]);
+    e.push_row([
+        "fp32 performance".to_string(),
+        format!("{:.0} TFlops", c.fp32_tflops),
+        format!("{:.0} TFlops", d.fp32_tflops),
+    ]);
+    e.push_row([
+        "tensor cores".to_string(),
+        c.tensor_cores.to_string(),
+        d.tensor_cores.to_string(),
+    ]);
+    e.push_row([
+        "GPUDirect P2P".to_string(),
+        yes_no(c.gpudirect_p2p),
+        yes_no(d.gpudirect_p2p),
+    ]);
+    e.push_row([
+        "high-bandwidth connectivity".to_string(),
+        yes_no(c.nvlink_gbps.is_some()),
+        yes_no(d.nvlink_gbps.is_some()),
+    ]);
+    e.note(format!(
+        "price ratio {:.1}x, fp32 ratio {:.1}x",
+        d.price_usd / c.price_usd,
+        c.fp32_tflops / d.fp32_tflops
+    ));
+    e
+}
+
+fn yes_no(b: bool) -> String {
+    if b { "support" } else { "not support" }.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_relations() {
+        let e = run();
+        assert_eq!(e.rows.len(), 5);
+        // Price gap >= 7x is in the notes.
+        assert!(e.notes[0].contains("7.0x"));
+    }
+}

@@ -1,0 +1,235 @@
+//! `mobius-cli` — plan and simulate fine-tuning runs from the command line.
+//!
+//! ```text
+//! mobius-cli plan    --model 15b --topo 2+2 [--mbs N] [--microbatches M]
+//! mobius-cli step    --model 15b --topo 2+2 --system mobius|gpipe|ds-pipe|ds-hetero|zero-offload
+//! mobius-cli compare --model 15b --topo 2+2
+//! ```
+//!
+//! Topologies: `4`, `1+3`, `2+2`, `4+4`, … (commodity 3090-Ti groups) or
+//! `dc` (4×V100 NVLink).
+
+use std::process::ExitCode;
+
+use mobius::{FineTuner, RunError, System};
+use mobius_model::{GptConfig, Model};
+use mobius_pipeline::{evaluate_analytic, render_gantt, MemoryMode, PipelineConfig};
+use mobius_topology::{GpuSpec, Topology};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mobius-cli plan    --model <3b|8b|15b|51b|llama7b|llama13b> --topo <GROUPS|dc> [--mbs N] [--microbatches M]
+  mobius-cli step    --model <..> --topo <..> --system <mobius|gpipe|ds-pipe|ds-hetero|zero-offload>
+  mobius-cli compare --model <..> --topo <..>
+topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let model = parse_model(&flag(args, "--model").unwrap_or_else(|| "15b".into()))?;
+    let topo = parse_topo(&flag(args, "--topo").unwrap_or_else(|| "2+2".into()))?;
+    let mut tuner = FineTuner::from_model(model).topology(topo.clone());
+    if let Some(mbs) = flag(args, "--mbs") {
+        tuner = tuner.microbatch_size(mbs.parse().map_err(|_| "bad --mbs")?);
+    }
+    if let Some(m) = flag(args, "--microbatches") {
+        tuner = tuner.num_microbatches(m.parse().map_err(|_| "bad --microbatches")?);
+    }
+    match cmd.as_str() {
+        "plan" => plan(tuner, &topo),
+        "step" => {
+            let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
+            let timeline = args.iter().any(|a| a == "--timeline");
+            step(tuner.system(system), timeline)
+        }
+        "compare" => compare(tuner),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_model(s: &str) -> Result<Model, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "3b" => Ok(Model::from_config(&GptConfig::gpt_3b())),
+        "8b" => Ok(Model::from_config(&GptConfig::gpt_8b())),
+        "15b" => Ok(Model::from_config(&GptConfig::gpt_15b())),
+        "51b" => Ok(Model::from_config(&GptConfig::gpt_51b())),
+        "gpt2" => Ok(Model::from_config(&GptConfig::gpt2_small())),
+        "llama7b" => Ok(Model::llama2_7b()),
+        "llama13b" => Ok(Model::llama2_13b()),
+        other => Err(format!(
+            "unknown model `{other}` (try 3b/8b/15b/51b/llama7b/llama13b)"
+        )),
+    }
+}
+
+fn parse_topo(s: &str) -> Result<Topology, String> {
+    if s.eq_ignore_ascii_case("dc") {
+        return Ok(Topology::data_center(GpuSpec::v100(), 4));
+    }
+    let groups: Result<Vec<usize>, _> = s.split('+').map(str::parse).collect();
+    match groups {
+        Ok(g) if !g.is_empty() && g.iter().all(|&x| x > 0) => {
+            Ok(Topology::commodity(GpuSpec::rtx3090ti(), &g))
+        }
+        _ => Err(format!("bad topology `{s}` (try 2+2, 1+3, 4, 4+4 or dc)")),
+    }
+}
+
+fn parse_system(s: &str) -> Result<System, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "mobius" => Ok(System::Mobius),
+        "gpipe" => Ok(System::Gpipe),
+        "ds-pipe" | "deepspeed-pipeline" => Ok(System::DeepSpeedPipeline),
+        "ds-hetero" | "deepspeed" | "deepspeed-hetero" => Ok(System::DeepSpeedHetero),
+        "zero-offload" | "offload" => Ok(System::ZeroOffload),
+        other => Err(format!("unknown system `{other}`")),
+    }
+}
+
+fn plan(tuner: FineTuner, topo: &Topology) -> Result<(), String> {
+    let plan = tuner.plan().map_err(|e| e.to_string())?;
+    println!(
+        "{} stages over {} GPUs ({}), contention degree {:.1}",
+        plan.partition.num_stages(),
+        topo.num_gpus(),
+        topo.name(),
+        plan.contention_degree,
+    );
+    println!(
+        "predicted step {}; overheads: profiling {}, MIP {:.2}s, mapping {:.3}s",
+        plan.predicted_step,
+        plan.overheads.profiling,
+        plan.overheads.mip_solve_secs,
+        plan.overheads.cross_map_secs,
+    );
+    // Re-evaluate analytically for the timeline.
+    let cfg = PipelineConfig {
+        memory_mode: MemoryMode::Heterogeneous,
+        ..PipelineConfig::mobius(
+            tuner.microbatches(),
+            topo.gpu_mem_bytes(),
+            topo.avg_gpu_bandwidth(),
+        )
+    };
+    let sch = evaluate_analytic(&plan.stages, &plan.mapping, &cfg).map_err(|e| e.to_string())?;
+    println!("\ntimeline (digits = forward stage, letters = backward):");
+    print!("{}", render_gantt(&sch, &plan.stages, &plan.mapping, 100));
+    Ok(())
+}
+
+fn step(tuner: FineTuner, timeline: bool) -> Result<(), String> {
+    match tuner.run_step() {
+        Ok(r) => {
+            println!(
+                "{}: step {}  drain {}  traffic {:.1} GB ({:.1}x fp16 model)  \
+                 non-overlapped {:.0}%  ${:.4}/step",
+                r.system.label(),
+                r.step_time,
+                r.drain_time,
+                r.traffic_total() / 1e9,
+                r.traffic_ratio(),
+                r.non_overlapped_fraction() * 100.0,
+                r.price_usd,
+            );
+            if timeline {
+                println!("\nmeasured timeline ('#' compute, '=' communication):");
+                print!("{}", r.trace.render_timeline(r.drain_time, 100));
+            }
+            Ok(())
+        }
+        Err(RunError::OutOfMemory(e)) => {
+            println!("OOM: {e}");
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn compare(tuner: FineTuner) -> Result<(), String> {
+    println!("{:<20} {:>10} {:>12} {:>10}", "system", "step", "traffic", "$/step");
+    for system in [
+        System::Gpipe,
+        System::DeepSpeedPipeline,
+        System::ZeroOffload,
+        System::DeepSpeedHetero,
+        System::Mobius,
+    ] {
+        match tuner.clone().system(system).run_step() {
+            Ok(r) => println!(
+                "{:<20} {:>10} {:>10.1}GB {:>10.4}",
+                r.system.label(),
+                r.step_time.to_string(),
+                r.traffic_total() / 1e9,
+                r.price_usd,
+            ),
+            Err(RunError::OutOfMemory(_)) => {
+                println!("{:<20} {:>10}", system.label(), "OOM")
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_models() {
+        assert_eq!(parse_model("8B").unwrap().config().name, "8B");
+        assert!(parse_model("llama7b").unwrap().config().name.contains("7B"));
+        assert!(parse_model("70b").is_err());
+    }
+
+    #[test]
+    fn parses_topologies() {
+        assert_eq!(parse_topo("2+2").unwrap().groups(), &[2, 2]);
+        assert_eq!(parse_topo("4").unwrap().groups(), &[4]);
+        assert!(parse_topo("dc").unwrap().name().contains("NVLink"));
+        assert!(parse_topo("x+y").is_err());
+        assert!(parse_topo("2+0").is_err());
+    }
+
+    #[test]
+    fn parses_systems() {
+        assert_eq!(parse_system("mobius").unwrap(), System::Mobius);
+        assert_eq!(parse_system("ds-hetero").unwrap(), System::DeepSpeedHetero);
+        assert_eq!(parse_system("zero-offload").unwrap(), System::ZeroOffload);
+        assert!(parse_system("pytorch").is_err());
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let args: Vec<String> = ["step", "--model", "8b", "--topo", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&args, "--model").as_deref(), Some("8b"));
+        assert_eq!(flag(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args: Vec<String> = vec!["bogus".into()];
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! The facade error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mobius_pipeline::ScheduleError;
+use mobius_zero::ZeroError;
+
+/// Anything that can go wrong planning or running a training step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The model cannot fit under the system's memory regime (the "OOM"
+    /// entries of Figure 5).
+    OutOfMemory(String),
+    /// An internal scheduling inconsistency (mapping mismatch etc.).
+    Schedule(ScheduleError),
+    /// The requested operation does not apply to the selected system.
+    Unsupported(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::OutOfMemory(what) => write!(f, "out of GPU memory: {what}"),
+            RunError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            RunError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<ScheduleError> for RunError {
+    fn from(e: ScheduleError) -> Self {
+        match e {
+            ScheduleError::StageTooLarge { .. } => RunError::OutOfMemory(e.to_string()),
+            other => RunError::Schedule(other),
+        }
+    }
+}
+
+impl From<ZeroError> for RunError {
+    fn from(e: ZeroError) -> Self {
+        RunError::OutOfMemory(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_too_large_becomes_oom() {
+        let e: RunError = ScheduleError::StageTooLarge {
+            stage: 1,
+            required: 100,
+            capacity: 10,
+        }
+        .into();
+        assert!(matches!(e, RunError::OutOfMemory(_)));
+        assert!(e.to_string().contains("out of GPU memory"));
+    }
+
+    #[test]
+    fn mapping_mismatch_stays_schedule() {
+        let e: RunError = ScheduleError::MappingMismatch {
+            mapped: 2,
+            stages: 3,
+        }
+        .into();
+        assert!(matches!(e, RunError::Schedule(_)));
+    }
+}

@@ -1,0 +1,627 @@
+//! The high-level API: pick a model, a server, and a system; get a plan
+//! and a measured training step.
+
+use std::time::{Duration, Instant};
+
+use mobius_mapping::{Mapping, MappingAlgo};
+use mobius_model::{GptConfig, Model};
+use mobius_pipeline::{
+    partition_model, plan_gpipe, simulate_step, simulate_steps, stage_costs, MemoryMode,
+    MultiStepReport, Partition, PartitionAlgo, PipelineConfig, StageCosts,
+};
+use mobius_profiler::{ModelProfile, Profiler};
+use mobius_sim::{Cdf, SimTime, TraceRecorder};
+use mobius_topology::Topology;
+use mobius_zero::{
+    simulate_zero_offload_step, simulate_zero_step, ZeroConfig, DS_PIPELINE_OVERHEAD,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::{pricing, RunError};
+
+/// Which training system to run (the four bars of Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// The paper's system: heterogeneous-memory pipeline with MIP
+    /// partitioning and cross mapping.
+    Mobius,
+    /// GPipe: pipeline parallelism, all parameters resident in GPU memory.
+    Gpipe,
+    /// DeepSpeed in pipeline-parallel mode (GPU memory only).
+    DeepSpeedPipeline,
+    /// DeepSpeed ZeRO-3 with heterogeneous memory — the primary baseline.
+    DeepSpeedHetero,
+    /// ZeRO-Offload (related work \[37\]): optimizer in DRAM, a full FP16
+    /// parameter copy on every GPU — bounded by single-GPU memory.
+    ZeroOffload,
+}
+
+impl System {
+    /// Display label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Mobius => "Mobius",
+            System::Gpipe => "GPipe",
+            System::DeepSpeedPipeline => "DeepSpeed-pipeline",
+            System::DeepSpeedHetero => "DeepSpeed-hetero",
+            System::ZeroOffload => "ZeRO-Offload",
+        }
+    }
+}
+
+/// Planning overheads (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Overheads {
+    /// Simulated wall-clock cost of profiling the model on hardware, with
+    /// layer similarity enabled.
+    pub profiling: SimTime,
+    /// Real wall-clock seconds the MIP partition search took.
+    pub mip_solve_secs: f64,
+    /// Real wall-clock seconds the cross-mapping search took.
+    pub cross_map_secs: f64,
+}
+
+/// A resolved Mobius execution plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The chosen partition.
+    pub partition: Partition,
+    /// Aggregated per-stage costs.
+    pub stages: Vec<StageCosts>,
+    /// The stage→GPU mapping.
+    pub mapping: Mapping,
+    /// Analytic step-time prediction (the partition search objective).
+    pub predicted_step: SimTime,
+    /// Contention degree of the mapping (Eq. 13).
+    pub contention_degree: f64,
+    /// Planning overheads.
+    pub overheads: Overheads,
+}
+
+/// The measurements of one simulated training step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Which system produced it.
+    pub system: System,
+    /// Per-step time (completion of the last backward microbatch for
+    /// pipeline systems; full drain for ZeRO, whose all-reduce is
+    /// synchronous).
+    pub step_time: SimTime,
+    /// Time until every transfer drained.
+    pub drain_time: SimTime,
+    /// Transfers, traffic and overlap recorded during the step.
+    pub trace: TraceRecorder,
+    /// Price of this step at the server's rental rate (Figure 15b).
+    pub price_usd: f64,
+    /// FP16 parameter bytes of the model (the "model size" reference).
+    pub model_size_bytes: u64,
+}
+
+impl StepReport {
+    /// Total PCIe/NVLink bytes moved in the step.
+    pub fn traffic_total(&self) -> f64 {
+        self.trace.total_traffic()
+    }
+
+    /// Traffic as a multiple of the FP16 model size (Figure 6's ratio;
+    /// DeepSpeed lands around `3·N×`, Mobius around `2–3×`).
+    pub fn traffic_ratio(&self) -> f64 {
+        self.traffic_total() / self.model_size_bytes as f64
+    }
+
+    /// Byte-weighted bandwidth CDF of all transfers (Figures 2, 7, 11, 16).
+    pub fn bandwidth_cdf(&self) -> Cdf {
+        self.trace.bandwidth_cdf()
+    }
+
+    /// Fraction of the step that is communication not overlapped by
+    /// computation, averaged over GPUs (Figure 8).
+    pub fn non_overlapped_fraction(&self) -> f64 {
+        self.trace.non_overlapped_comm_fraction(self.step_time)
+    }
+}
+
+/// Builder for planning and running fine-tuning steps.
+///
+/// # Examples
+///
+/// ```
+/// use mobius::{FineTuner, System};
+/// use mobius_model::GptConfig;
+/// use mobius_topology::{GpuSpec, Topology};
+///
+/// let report = FineTuner::new(GptConfig::gpt_8b())
+///     .topology(Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]))
+///     .system(System::Mobius)
+///     .mip_budget_ms(200)
+///     .run_step()?;
+/// assert!(report.step_time.as_secs_f64() > 0.0);
+/// # Ok::<(), mobius::RunError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FineTuner {
+    model: Model,
+    topo: Topology,
+    system: System,
+    partition_algo: PartitionAlgo,
+    mapping_algo: MappingAlgo,
+    microbatch_size: Option<usize>,
+    num_microbatches: Option<usize>,
+    mip_budget: Duration,
+    efficiency: Option<f64>,
+    prefetch: bool,
+    prioritized_loads: bool,
+}
+
+impl FineTuner {
+    /// Starts a fine-tuner for `model_cfg` with the paper's defaults:
+    /// a 4×3090-Ti Topo 2+2 server, the Mobius system, MIP partitioning,
+    /// cross mapping, and Table 3's microbatch size.
+    pub fn new(model_cfg: GptConfig) -> Self {
+        Self::from_model(Model::from_config(&model_cfg))
+    }
+
+    /// Starts a fine-tuner for an explicit layer-level [`Model`] (e.g. the
+    /// LLaMA presets `Model::llama2_7b()`), with the same defaults.
+    pub fn from_model(model: Model) -> Self {
+        FineTuner {
+            model,
+            topo: Topology::commodity(mobius_topology::GpuSpec::rtx3090ti(), &[2, 2]),
+            system: System::Mobius,
+            partition_algo: PartitionAlgo::Mip,
+            mapping_algo: MappingAlgo::Cross,
+            microbatch_size: None,
+            num_microbatches: None,
+            mip_budget: Duration::from_secs(3),
+            efficiency: None,
+            prefetch: true,
+            prioritized_loads: true,
+        }
+    }
+
+    /// Sets the server topology.
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topo = topo;
+        self
+    }
+
+    /// Sets the system to simulate.
+    pub fn system(mut self, system: System) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Sets the partition algorithm (Mobius only).
+    pub fn partition_algo(mut self, algo: PartitionAlgo) -> Self {
+        self.partition_algo = algo;
+        self
+    }
+
+    /// Sets the stage→GPU mapping policy (Mobius only).
+    pub fn mapping_algo(mut self, algo: MappingAlgo) -> Self {
+        self.mapping_algo = algo;
+        self
+    }
+
+    /// Overrides the microbatch size (default: the model's Table 3 value).
+    pub fn microbatch_size(mut self, mbs: usize) -> Self {
+        self.microbatch_size = Some(mbs);
+        self
+    }
+
+    /// Overrides the number of microbatches per step (default: one per
+    /// GPU, the paper's `M = N`).
+    pub fn num_microbatches(mut self, m: usize) -> Self {
+        self.num_microbatches = Some(m);
+        self
+    }
+
+    /// Wall-clock budget for the MIP partition search.
+    pub fn mip_budget_ms(mut self, ms: u64) -> Self {
+        self.mip_budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Overrides the profiler's FLOP efficiency derating.
+    pub fn efficiency(mut self, e: f64) -> Self {
+        self.efficiency = Some(e);
+        self
+    }
+
+    /// Ablation: disables stage prefetching (every load blocks, §3.1).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Ablation: disables the §3.3 prefetch priorities.
+    pub fn prioritized_loads(mut self, on: bool) -> Self {
+        self.prioritized_loads = on;
+        self
+    }
+
+    /// The effective microbatch size.
+    pub fn mbs(&self) -> usize {
+        self.microbatch_size
+            .unwrap_or(self.model.config().default_microbatch)
+    }
+
+    /// The effective number of microbatches per step.
+    pub fn microbatches(&self) -> usize {
+        self.num_microbatches.unwrap_or(self.topo.num_gpus())
+    }
+
+    fn profiler(&self) -> Profiler {
+        let p = Profiler::new(self.topo.gpu().clone());
+        match self.efficiency {
+            Some(e) => p.efficiency(e),
+            None => p,
+        }
+    }
+
+    fn profile(&self) -> (&Model, ModelProfile) {
+        let profile = self.profiler().profile(&self.model, self.mbs());
+        (&self.model, profile)
+    }
+
+    fn pipeline_cfg(&self, mode: MemoryMode) -> PipelineConfig {
+        PipelineConfig {
+            memory_mode: mode,
+            prefetch: self.prefetch,
+            prioritized_loads: self.prioritized_loads,
+            ..PipelineConfig::mobius(
+                self.microbatches(),
+                self.topo.gpu_mem_bytes(),
+                self.topo.avg_gpu_bandwidth(),
+            )
+        }
+    }
+
+    /// Produces the Mobius plan: profile → MIP partition → cross mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::OutOfMemory`] when no feasible partition exists.
+    pub fn plan(&self) -> Result<Plan, RunError> {
+        let (model, profile) = self.profile();
+        let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
+        let n = self.topo.num_gpus();
+
+        let solve_started = Instant::now();
+        let outcome = match self.partition_algo {
+            PartitionAlgo::Mip => {
+                mobius_pipeline::mip_partition(&profile, n, &cfg, self.mip_budget)?
+            }
+            other => partition_model(other, &profile, n, &cfg)?,
+        };
+        let mip_solve_secs = solve_started.elapsed().as_secs_f64();
+
+        let map_started = Instant::now();
+        let mapping = Mapping::with_algo(
+            self.mapping_algo,
+            &self.topo,
+            outcome.partition.num_stages(),
+        );
+        let cross_map_secs = map_started.elapsed().as_secs_f64();
+
+        let stages = stage_costs(&profile, &outcome.partition);
+        let contention_degree = mapping.contention_degree(&self.topo);
+        let profiling = self.profiler().profiling_time(model, self.mbs(), true);
+
+        Ok(Plan {
+            partition: outcome.partition,
+            stages,
+            mapping,
+            predicted_step: outcome.predicted_step,
+            contention_degree,
+            overheads: Overheads {
+                profiling,
+                mip_solve_secs,
+                cross_map_secs,
+            },
+        })
+    }
+
+    /// Simulates one training step of the selected system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::OutOfMemory`] for configurations the system
+    /// cannot train (the OOM entries of Figure 5).
+    pub fn run_step(&self) -> Result<StepReport, RunError> {
+        let model_size = self.model.model_size_bytes();
+        match self.system {
+            System::Mobius => {
+                let plan = self.plan()?;
+                let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
+                let sim = simulate_step(&plan.stages, &plan.mapping, &self.topo, &cfg)?;
+                Ok(self.report(sim.step_time, sim.drain_time, sim.trace, model_size))
+            }
+            System::Gpipe | System::DeepSpeedPipeline => {
+                let (_, profile) = self.profile();
+                let cfg = self.pipeline_cfg(MemoryMode::Resident);
+                // plan_gpipe performs the OOM check with optimizer state.
+                let plan = plan_gpipe(&profile, self.topo.num_gpus(), &cfg)?;
+                let stages = stage_costs(&profile, &plan.partition);
+                let mapping =
+                    Mapping::sequential(plan.partition.num_stages(), self.topo.num_gpus());
+                let sim = simulate_step(&stages, &mapping, &self.topo, &cfg)?;
+                let factor = if self.system == System::DeepSpeedPipeline {
+                    DS_PIPELINE_OVERHEAD
+                } else {
+                    1.0
+                };
+                let step = SimTime::from_secs_f64(sim.step_time.as_secs_f64() * factor);
+                let drain = SimTime::from_secs_f64(sim.drain_time.as_secs_f64() * factor);
+                Ok(self.report(step, drain, sim.trace, model_size))
+            }
+            System::DeepSpeedHetero => {
+                let (_, profile) = self.profile();
+                let rep = simulate_zero_step(&profile, &self.topo, &ZeroConfig::default())?;
+                Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
+            }
+            System::ZeroOffload => {
+                let (_, profile) = self.profile();
+                let rep = simulate_zero_offload_step(&profile, &self.topo)?;
+                Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
+            }
+        }
+    }
+
+    /// Simulates `k` consecutive training steps (pipeline systems only:
+    /// Mobius, GPipe, DeepSpeed-pipeline). Across steps, Mobius prefetches
+    /// the next step's uploads during the current backward tail, gated on
+    /// each stage's gradient flush.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobius::FineTuner;
+    /// use mobius_model::GptConfig;
+    ///
+    /// let run = FineTuner::new(GptConfig::gpt_8b())
+    ///     .mip_budget_ms(150)
+    ///     .run_steps(2)?;
+    /// assert!(run.steady_state_step().as_secs_f64() > 0.0);
+    /// # Ok::<(), mobius::RunError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::OutOfMemory`] when the system cannot hold the
+    /// model, and [`RunError::Unsupported`] for the ZeRO systems, whose
+    /// steps are independent (use [`FineTuner::run_step`] instead).
+    pub fn run_steps(&self, k: usize) -> Result<MultiStepReport, RunError> {
+        match self.system {
+            System::Mobius => {
+                let plan = self.plan()?;
+                let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
+                Ok(simulate_steps(&plan.stages, &plan.mapping, &self.topo, &cfg, k)?)
+            }
+            System::Gpipe | System::DeepSpeedPipeline => {
+                let (_, profile) = self.profile();
+                let cfg = self.pipeline_cfg(MemoryMode::Resident);
+                let plan = plan_gpipe(&profile, self.topo.num_gpus(), &cfg)?;
+                let stages = stage_costs(&profile, &plan.partition);
+                let mapping =
+                    Mapping::sequential(plan.partition.num_stages(), self.topo.num_gpus());
+                Ok(simulate_steps(&stages, &mapping, &self.topo, &cfg, k)?)
+            }
+            other => Err(RunError::Unsupported(format!(
+                "{} steps are independent; run_step() per step instead",
+                other.label()
+            ))),
+        }
+    }
+
+    fn report(
+        &self,
+        step_time: SimTime,
+        drain_time: SimTime,
+        trace: TraceRecorder,
+        model_size_bytes: u64,
+    ) -> StepReport {
+        StepReport {
+            system: self.system,
+            step_time,
+            drain_time,
+            price_usd: pricing::step_price_usd(&self.topo, step_time),
+            trace,
+            model_size_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobius_topology::GpuSpec;
+
+    fn commodity(groups: &[usize]) -> Topology {
+        Topology::commodity(GpuSpec::rtx3090ti(), groups)
+    }
+
+    fn tuner(cfg: GptConfig, system: System) -> FineTuner {
+        FineTuner::new(cfg)
+            .topology(commodity(&[2, 2]))
+            .system(system)
+            .mip_budget_ms(150)
+    }
+
+    #[test]
+    fn mobius_trains_all_table3_models() {
+        for cfg in GptConfig::table3() {
+            let rep = tuner(cfg.clone(), System::Mobius)
+                .run_step()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", cfg.name));
+            assert!(rep.step_time > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn gpipe_ooms_beyond_3b() {
+        assert!(tuner(GptConfig::gpt_3b(), System::Gpipe).run_step().is_ok());
+        for cfg in [GptConfig::gpt_8b(), GptConfig::gpt_15b()] {
+            let err = tuner(cfg, System::Gpipe).run_step().unwrap_err();
+            assert!(matches!(err, RunError::OutOfMemory(_)));
+        }
+    }
+
+    #[test]
+    fn mobius_beats_deepspeed_hetero() {
+        let cfg = GptConfig::gpt_8b();
+        let mobius = tuner(cfg.clone(), System::Mobius).run_step().unwrap();
+        let ds = tuner(cfg, System::DeepSpeedHetero).run_step().unwrap();
+        let speedup = ds.step_time.as_secs_f64() / mobius.step_time.as_secs_f64();
+        assert!(
+            speedup > 2.0,
+            "expected a large speedup, got {speedup:.2}x \
+             (mobius {}, deepspeed {})",
+            mobius.step_time,
+            ds.step_time
+        );
+    }
+
+    #[test]
+    fn traffic_ratio_shape_matches_paper() {
+        let cfg = GptConfig::gpt_8b();
+        let mobius = tuner(cfg.clone(), System::Mobius).run_step().unwrap();
+        let ds = tuner(cfg, System::DeepSpeedHetero).run_step().unwrap();
+        // DeepSpeed moves ~N x more data than Mobius (Figure 6).
+        assert!(
+            ds.traffic_ratio() / mobius.traffic_ratio() > 2.5,
+            "ds {:.2}x vs mobius {:.2}x",
+            ds.traffic_ratio(),
+            mobius.traffic_ratio()
+        );
+    }
+
+    #[test]
+    fn ds_pipeline_is_slightly_slower_than_gpipe() {
+        let cfg = GptConfig::gpt_3b();
+        let gp = tuner(cfg.clone(), System::Gpipe).run_step().unwrap();
+        let dsp = tuner(cfg, System::DeepSpeedPipeline).run_step().unwrap();
+        assert!(dsp.step_time > gp.step_time);
+        let ratio = dsp.step_time.as_secs_f64() / gp.step_time.as_secs_f64();
+        assert!((1.0..1.2).contains(&ratio));
+    }
+
+    #[test]
+    fn plan_reports_overheads() {
+        let plan = tuner(GptConfig::gpt_8b(), System::Mobius).plan().unwrap();
+        assert!(plan.overheads.profiling > SimTime::ZERO);
+        assert!(plan.overheads.mip_solve_secs >= 0.0);
+        assert!(plan.partition.num_stages() >= 4);
+        assert!(plan.contention_degree >= 0.0);
+    }
+
+    #[test]
+    fn price_cheaper_on_commodity() {
+        let c = tuner(GptConfig::gpt_8b(), System::Mobius).run_step().unwrap();
+        assert!(c.price_usd > 0.0);
+    }
+
+    #[test]
+    fn prefetch_ablation_slows_mobius() {
+        let cfg = GptConfig::gpt_15b();
+        let with = tuner(cfg.clone(), System::Mobius).run_step().unwrap();
+        let without = tuner(cfg, System::Mobius)
+            .prefetch(false)
+            .run_step()
+            .unwrap();
+        assert!(
+            without.step_time > with.step_time,
+            "disabling prefetch must hurt: {} vs {}",
+            without.step_time,
+            with.step_time
+        );
+    }
+
+    #[test]
+    fn ssd_offload_tier_is_a_bottleneck() {
+        // The paper's §3.1 rationale for DRAM-only offload.
+        let cfg = GptConfig::gpt_15b();
+        let dram = tuner(cfg.clone(), System::Mobius).run_step().unwrap();
+        let ssd_topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2])
+            .with_ssd_offload(3.0);
+        let ssd = FineTuner::new(cfg)
+            .topology(ssd_topo)
+            .system(System::Mobius)
+            .mip_budget_ms(150)
+            .run_step()
+            .unwrap();
+        assert!(
+            ssd.step_time.as_secs_f64() > dram.step_time.as_secs_f64() * 1.5,
+            "a 3 GB/s SSD should clearly bottleneck: {} vs {}",
+            ssd.step_time,
+            dram.step_time
+        );
+    }
+
+    #[test]
+    fn llama_models_train_on_mobius() {
+        for (model, should_fit_offload) in
+            [(Model::llama2_7b(), true), (Model::llama2_13b(), true)]
+        {
+            let name = model.config().name.clone();
+            let rep = FineTuner::from_model(model.clone())
+                .topology(commodity(&[2, 2]))
+                .system(System::Mobius)
+                .mip_budget_ms(150)
+                .run_step()
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            assert!(rep.step_time > SimTime::ZERO, "{name}");
+            // 7B (13.5 GB fp16) and 13B (26 GB > 24 GB) differ on
+            // ZeRO-Offload's single-GPU bound.
+            let offload = FineTuner::from_model(model)
+                .topology(commodity(&[2, 2]))
+                .system(System::ZeroOffload)
+                .run_step();
+            if name.contains("7B") {
+                assert_eq!(offload.is_ok(), should_fit_offload, "{name}");
+            } else {
+                assert!(offload.is_err(), "{name} must OOM on ZeRO-Offload");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_capability_ladder() {
+        // GPipe (<=3B) < ZeRO-Offload (<=8B) < hetero systems (everything).
+        let trains = |cfg: GptConfig, s| tuner(cfg, s).run_step().is_ok();
+        assert!(trains(GptConfig::gpt_3b(), System::ZeroOffload));
+        assert!(trains(GptConfig::gpt_8b(), System::ZeroOffload));
+        assert!(!trains(GptConfig::gpt_15b(), System::ZeroOffload));
+        assert!(!trains(GptConfig::gpt_8b(), System::Gpipe));
+        assert!(trains(GptConfig::gpt_15b(), System::DeepSpeedHetero));
+    }
+
+    #[test]
+    fn run_steps_steady_state_within_band() {
+        let rep = tuner(GptConfig::gpt_15b(), System::Mobius)
+            .run_steps(3)
+            .unwrap();
+        assert_eq!(rep.step_boundaries.len(), 3);
+        let first = rep.step_duration(0).as_secs_f64();
+        let steady = rep.steady_state_step().as_secs_f64();
+        assert!(
+            (0.8..1.3).contains(&(steady / first)),
+            "first {first:.2}s vs steady {steady:.2}s"
+        );
+    }
+
+    #[test]
+    fn run_steps_rejected_for_zero_systems() {
+        let err = tuner(GptConfig::gpt_8b(), System::DeepSpeedHetero)
+            .run_steps(2)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn defaults_follow_table3() {
+        let t = FineTuner::new(GptConfig::gpt_15b());
+        assert_eq!(t.mbs(), 1);
+        assert_eq!(t.microbatches(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mobius-model
+//!
+//! Analytic descriptions of GPT-like models for the Mobius (ASPLOS '23)
+//! reproduction: parameter/gradient/optimizer byte accounting, activation
+//! sizes, FLOP counts, and the layer-similarity grouping the paper uses to
+//! compress profiling (§3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use mobius_model::{GptConfig, Model};
+//!
+//! let model = Model::from_config(&GptConfig::gpt_51b());
+//! assert!(model.total_params() > 50_000_000_000);
+//! // Profiling needs only one representative per similar-layer group.
+//! assert_eq!(model.similarity_groups().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod layer;
+mod model;
+
+pub use config::{GptConfig, DEFAULT_SEQ, DEFAULT_VOCAB, LLAMA_VOCAB};
+pub use layer::{LayerKind, FP16, FP32, OPTIMIZER_BYTES_PER_PARAM};
+pub use model::Model;

@@ -1,0 +1,86 @@
+//! Property-based tests of the model accounting.
+
+use proptest::prelude::*;
+
+use mobius_model::{GptConfig, LayerKind, Model};
+
+fn arb_config() -> impl Strategy<Value = GptConfig> {
+    (1usize..8, 1usize..6, 1usize..24, 6usize..10).prop_map(|(h64, heads, layers, seq_pow)| {
+        GptConfig::new(
+            "prop",
+            1024,
+            h64 * 64,
+            heads,
+            layers,
+            1 << seq_pow,
+            1,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parameter counts grow monotonically in hidden size and layer count.
+    #[test]
+    fn params_monotone(cfg in arb_config()) {
+        let base = Model::from_config(&cfg).total_params();
+        let mut wider = cfg.clone();
+        wider.hidden += 64;
+        prop_assert!(Model::from_config(&wider).total_params() > base);
+        let mut deeper = cfg.clone();
+        deeper.num_layers += 1;
+        prop_assert!(Model::from_config(&deeper).total_params() > base);
+    }
+
+    /// The model's totals equal the sum over its layers (no double count).
+    #[test]
+    fn totals_are_layer_sums(cfg in arb_config()) {
+        let m = Model::from_config(&cfg);
+        let param_sum: u64 = m.layers().iter().map(|l| l.param_count()).sum();
+        prop_assert_eq!(m.total_params(), param_sum);
+        prop_assert_eq!(m.model_size_bytes(), 2 * param_sum);
+        prop_assert_eq!(m.total_grad_bytes(), 2 * param_sum);
+        prop_assert_eq!(m.total_optimizer_bytes(), 12 * param_sum);
+    }
+
+    /// Similarity groups partition the layer indices exactly.
+    #[test]
+    fn similarity_groups_partition(cfg in arb_config()) {
+        let m = Model::from_config(&cfg);
+        let groups = m.similarity_groups();
+        let mut seen = vec![false; m.num_layers()];
+        for (kind, idxs) in &groups {
+            for &i in idxs {
+                prop_assert!(!seen[i], "layer {i} in two groups");
+                seen[i] = true;
+                prop_assert!(m.layers()[i].similar(kind));
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "a layer was unassigned");
+    }
+
+    /// FLOPs and activations scale linearly in the microbatch size.
+    #[test]
+    fn flops_linear_in_microbatch(cfg in arb_config(), mbs in 1usize..8) {
+        let block = LayerKind::TransformerBlock {
+            hidden: cfg.hidden,
+            heads: cfg.heads,
+            seq: cfg.seq_len,
+        };
+        let f1 = block.flops_fwd(1);
+        let fm = block.flops_fwd(mbs);
+        prop_assert!((fm / f1 - mbs as f64).abs() < 1e-9);
+        prop_assert_eq!(block.output_act_bytes(mbs), mbs as u64 * block.output_act_bytes(1));
+    }
+
+    /// Backward FLOPs are 2x forward (3x with recompute), for every layer.
+    #[test]
+    fn backward_ratios(cfg in arb_config()) {
+        let m = Model::from_config(&cfg);
+        for l in m.layers() {
+            prop_assert_eq!(l.flops_bwd(2, false), 2.0 * l.flops_fwd(2));
+            prop_assert_eq!(l.flops_bwd(2, true), 3.0 * l.flops_fwd(2));
+        }
+    }
+}

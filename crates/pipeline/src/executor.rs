@@ -1,0 +1,1044 @@
+//! Event-driven execution of a pipeline schedule on a simulated server.
+//!
+//! Unlike the analytic evaluator, this executor runs every transfer as a
+//! flow on the server's [`mobius_topology::ServerNetwork`], so concurrent
+//! prefetches contend for root-complex bandwidth exactly as the paper
+//! describes (§2.2), prefetch priorities follow the cross-mapping rule
+//! (§3.3), and the trace records bandwidth samples and compute/comm overlap
+//! for Figures 6–8 and 11.
+//!
+//! The executor simulates one step ([`simulate_step`]) or a whole run of
+//! consecutive steps ([`simulate_steps`]). Across steps the Mobius pipeline
+//! keeps flowing: the next step's first stage uploads prefetch during the
+//! current step's backward tail — but a stage's parameters may only reload
+//! after its gradients reached DRAM and the CPU optimizer refreshed them
+//! (the cross-step data dependency).
+
+use std::collections::HashMap;
+
+use mobius_mapping::Mapping;
+use mobius_sim::{CommKind, Engine, FlowId, SimTime, TraceRecorder};
+use mobius_topology::{ServerNetwork, Topology};
+
+use crate::{MemoryMode, PipelineConfig, ScheduleError, StageCosts};
+
+/// Result of simulating one training step.
+#[derive(Debug, Clone)]
+pub struct SimStepReport {
+    /// Completion time of the last backward microbatch (the paper's
+    /// per-step time, Eq. 3).
+    pub step_time: SimTime,
+    /// Time at which every flow (gradient offloads included) drained.
+    pub drain_time: SimTime,
+    /// Bandwidth samples, traffic counters, overlap intervals.
+    pub trace: TraceRecorder,
+}
+
+/// Result of simulating several consecutive training steps.
+#[derive(Debug, Clone)]
+pub struct MultiStepReport {
+    /// Completion time of each step's last backward microbatch.
+    pub step_boundaries: Vec<SimTime>,
+    /// Time at which every flow drained.
+    pub drain_time: SimTime,
+    /// Trace across the whole run.
+    pub trace: TraceRecorder,
+}
+
+impl MultiStepReport {
+    /// Duration of step `s` (boundary-to-boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn step_duration(&self, s: usize) -> SimTime {
+        if s == 0 {
+            self.step_boundaries[0]
+        } else {
+            self.step_boundaries[s] - self.step_boundaries[s - 1]
+        }
+    }
+
+    /// The steady-state step time: the duration of the last step, where
+    /// cross-step prefetching is fully warmed up.
+    pub fn steady_state_step(&self) -> SimTime {
+        self.step_duration(self.step_boundaries.len() - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    Fwd,
+    Bwd,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    step: usize,
+    stage: usize,
+    mb: usize,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Purpose {
+    Load {
+        gpu: usize,
+        idx: usize,
+        residual: bool,
+    },
+    ActTransfer {
+        step: usize,
+        to_stage: usize,
+        mb: usize,
+        grad: bool,
+    },
+    GradOffload {
+        step: usize,
+        stage: usize,
+    },
+    Bookkeeping,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoadRt {
+    prefetch_launched: bool,
+    prefetch_done: bool,
+    residual_started: bool,
+    residual_done: bool,
+    prefetch_bytes: u64,
+    total_bytes: u64,
+    /// All bytes arrived *and* the swap overhead elapsed.
+    usable: bool,
+    overhead_scheduled: bool,
+    /// A prefetch was requested while gated on the previous step's
+    /// gradient flush; holds the reserved-byte budget to use on unblock.
+    prefetch_wanted: Option<u64>,
+    /// A residual upload was requested while gated.
+    residual_wanted: bool,
+}
+
+impl LoadRt {
+    fn transferred(&self) -> bool {
+        self.prefetch_done && self.residual_done
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    step: usize,
+    stage: usize,
+    phase: Phase,
+    load: LoadRt,
+    /// GPU bytes resident while this slot computes (for prefetch budgets).
+    resident: u64,
+}
+
+#[derive(Debug)]
+struct GpuRt {
+    slots: Vec<Slot>,
+    cur: usize,
+    mb: usize,
+    running: Option<(Task, SimTime)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    ComputeDone {
+        gpu: usize,
+    },
+    ActArrived {
+        step: usize,
+        to_stage: usize,
+        mb: usize,
+        grad: bool,
+    },
+    LoadUsable {
+        gpu: usize,
+        idx: usize,
+    },
+}
+
+struct Executor<'a> {
+    stages: &'a [StageCosts],
+    mapping: &'a Mapping,
+    cfg: &'a PipelineConfig,
+    server: ServerNetwork,
+    engine: Engine<Ev>,
+    trace: TraceRecorder,
+    gpus: Vec<GpuRt>,
+    flows: HashMap<FlowId, (Purpose, CommKind, Vec<usize>)>,
+    /// `act_in[step][stage][mb]` / `grad_in[step][stage][mb]`.
+    act_in: Vec<Vec<Vec<bool>>>,
+    grad_in: Vec<Vec<Vec<bool>>>,
+    /// `grad_flushed[step][stage]`: gradients reached DRAM, the stage may
+    /// reload in step `step + 1`.
+    grad_flushed: Vec<Vec<bool>>,
+    /// Forward-load slot of `(step, stage)` for gate unblocking.
+    fwd_slot_of: HashMap<(usize, usize), (usize, usize)>,
+    bwd_done: Vec<usize>,
+    step_boundaries: Vec<SimTime>,
+    hetero: bool,
+    num_stages: usize,
+    m: usize,
+    steps: usize,
+}
+
+/// Simulates one training step of the pipeline on `topo` with full
+/// contention modelling.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory or the
+/// mapping mismatches the stage list.
+pub fn simulate_step(
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    topo: &Topology,
+    cfg: &PipelineConfig,
+) -> Result<SimStepReport, ScheduleError> {
+    let multi = simulate_steps(stages, mapping, topo, cfg, 1)?;
+    Ok(SimStepReport {
+        step_time: multi.step_boundaries[0],
+        drain_time: multi.drain_time,
+        trace: multi.trace,
+    })
+}
+
+/// Simulates `steps` consecutive training steps. Step `s + 1`'s uploads
+/// prefetch during step `s`'s backward tail, gated per stage on the
+/// gradient flush (the DRAM parameters must be refreshed before reloading).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory or the
+/// mapping mismatches the stage list.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or the mapping's GPU count mismatches `topo`.
+pub fn simulate_steps(
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    topo: &Topology,
+    cfg: &PipelineConfig,
+    steps: usize,
+) -> Result<MultiStepReport, ScheduleError> {
+    let s = stages.len();
+    let m = cfg.num_microbatches;
+    assert!(s > 0 && m > 0, "need stages and microbatches");
+    assert!(steps > 0, "need at least one step");
+    if mapping.num_stages() != s {
+        return Err(ScheduleError::MappingMismatch {
+            mapped: mapping.num_stages(),
+            stages: s,
+        });
+    }
+    assert_eq!(
+        mapping.num_gpus(),
+        topo.num_gpus(),
+        "mapping GPUs must match topology"
+    );
+    for (j, st) in stages.iter().enumerate() {
+        let required = st.resident_fwd().max(st.resident_bwd(m));
+        if required > cfg.gpu_mem_bytes {
+            return Err(ScheduleError::StageTooLarge {
+                stage: j,
+                required,
+                capacity: cfg.gpu_mem_bytes,
+            });
+        }
+    }
+
+    let hetero = cfg.memory_mode == MemoryMode::Heterogeneous;
+    let n = topo.num_gpus();
+
+    let mut fwd_slot_of = HashMap::new();
+    let gpus: Vec<GpuRt> = (0..n)
+        .map(|g| {
+            let fwd = mapping.stages_of(g);
+            let last_fwd = fwd.last().copied();
+            let mut slots = Vec::new();
+            for step in 0..steps {
+                for &j in &fwd {
+                    let total = if hetero { stages[j].fwd_load_bytes() } else { 0 };
+                    fwd_slot_of.insert((step, j), (g, slots.len()));
+                    slots.push(Slot {
+                        step,
+                        stage: j,
+                        phase: Phase::Fwd,
+                        load: load_rt(total),
+                        resident: stages[j].resident_fwd(),
+                    });
+                }
+                for &j in fwd.iter().rev() {
+                    let total = if hetero {
+                        stages[j].bwd_load_bytes(m, Some(j) == last_fwd)
+                    } else {
+                        0
+                    };
+                    slots.push(Slot {
+                        step,
+                        stage: j,
+                        phase: Phase::Bwd,
+                        load: load_rt(total),
+                        resident: stages[j].resident_bwd(m),
+                    });
+                }
+            }
+            GpuRt {
+                slots,
+                cur: 0,
+                mb: 0,
+                running: None,
+            }
+        })
+        .collect();
+
+    let mut exec = Executor {
+        stages,
+        mapping,
+        cfg,
+        server: ServerNetwork::new(topo),
+        engine: Engine::new(),
+        trace: TraceRecorder::new(),
+        gpus,
+        flows: HashMap::new(),
+        act_in: vec![vec![vec![false; m]; s]; steps],
+        grad_in: vec![vec![vec![false; m]; s]; steps],
+        grad_flushed: vec![vec![!hetero; s]; steps],
+        fwd_slot_of,
+        bwd_done: vec![0; steps],
+        step_boundaries: vec![SimTime::ZERO; steps],
+        hetero,
+        num_stages: s,
+        m,
+        steps,
+    };
+    exec.run();
+    Ok(MultiStepReport {
+        step_boundaries: exec.step_boundaries,
+        drain_time: exec.engine.now(),
+        trace: exec.trace,
+    })
+}
+
+fn load_rt(total: u64) -> LoadRt {
+    LoadRt {
+        prefetch_launched: total == 0,
+        prefetch_done: true, // becomes false when a prefetch flow launches
+        residual_started: total == 0,
+        residual_done: total == 0,
+        prefetch_bytes: 0,
+        total_bytes: total,
+        usable: total == 0,
+        overhead_scheduled: total == 0,
+        prefetch_wanted: None,
+        residual_wanted: false,
+    }
+}
+
+impl Executor<'_> {
+    fn run(&mut self) {
+        // Kick off the first slot's load on every GPU.
+        for g in 0..self.gpus.len() {
+            self.start_residual_for_slot(g, 0);
+        }
+        self.pump();
+        loop {
+            let next_flow = self.server.net().next_completion();
+            let next_ev = self.engine.peek_time();
+            match (next_flow, next_ev) {
+                (None, None) => break,
+                (Some((tf, fid)), ev_time) => {
+                    if ev_time.is_none_or(|te| tf <= te) {
+                        self.server.net_mut().advance_to(tf);
+                        self.engine.advance_to(tf);
+                        self.complete_flow(fid);
+                    } else {
+                        self.pop_event();
+                    }
+                }
+                (None, Some(_)) => self.pop_event(),
+            }
+            self.pump();
+        }
+        debug_assert!(
+            self.bwd_done.iter().all(|&d| d == self.num_stages * self.m),
+            "simulation ended before all backward work completed"
+        );
+    }
+
+    fn pop_event(&mut self) {
+        let (t, ev) = self.engine.pop().expect("event queue empty");
+        self.server.net_mut().advance_to(t);
+        match ev {
+            Ev::ComputeDone { gpu } => self.compute_done(gpu),
+            Ev::ActArrived {
+                step,
+                to_stage,
+                mb,
+                grad,
+            } => {
+                if grad {
+                    self.grad_in[step][to_stage][mb] = true;
+                } else {
+                    self.act_in[step][to_stage][mb] = true;
+                }
+            }
+            Ev::LoadUsable { gpu, idx } => {
+                self.gpus[gpu].slots[idx].load.usable = true;
+            }
+        }
+    }
+
+    fn complete_flow(&mut self, fid: FlowId) {
+        let rec = self.server.net_mut().complete(fid);
+        let (purpose, kind, gpus) = self
+            .flows
+            .remove(&fid)
+            .expect("completed flow without metadata");
+        self.trace.record_flow(&rec, kind, &gpus);
+        match purpose {
+            Purpose::Load { gpu, idx, residual } => {
+                let overhead = self.cfg.swap_overhead;
+                let l = &mut self.gpus[gpu].slots[idx].load;
+                if residual {
+                    l.residual_done = true;
+                } else {
+                    l.prefetch_done = true;
+                }
+                if l.transferred() && !l.overhead_scheduled {
+                    l.overhead_scheduled = true;
+                    self.engine
+                        .schedule_after(overhead, Ev::LoadUsable { gpu, idx });
+                }
+            }
+            Purpose::ActTransfer {
+                step,
+                to_stage,
+                mb,
+                grad,
+            } => {
+                self.engine.schedule_after(
+                    self.cfg.act_latency,
+                    Ev::ActArrived {
+                        step,
+                        to_stage,
+                        mb,
+                        grad,
+                    },
+                );
+            }
+            Purpose::GradOffload { step, stage } => {
+                self.grad_flushed[step][stage] = true;
+                self.unblock_gated_load(step, stage);
+            }
+            Purpose::Bookkeeping => {}
+        }
+    }
+
+    /// Gradients of `(step, stage)` reached DRAM: the stage may reload for
+    /// step `step + 1` if its load was waiting on the gate.
+    fn unblock_gated_load(&mut self, step: usize, stage: usize) {
+        let next_step = step + 1;
+        if next_step >= self.steps {
+            return;
+        }
+        let Some(&(g, idx)) = self.fwd_slot_of.get(&(next_step, stage)) else {
+            return;
+        };
+        let l = self.gpus[g].slots[idx].load;
+        if let Some(reserved) = l.prefetch_wanted {
+            self.launch_prefetch(g, idx, reserved);
+        }
+        if l.residual_wanted {
+            self.launch_residual(g, idx);
+        }
+    }
+
+    /// Whether the load of slot `(g, idx)` is allowed to move data yet.
+    fn load_gate_open(&self, g: usize, idx: usize) -> bool {
+        let slot = &self.gpus[g].slots[idx];
+        if slot.phase != Phase::Fwd || slot.step == 0 || !self.hetero {
+            return true;
+        }
+        self.grad_flushed[slot.step - 1][slot.stage]
+    }
+
+    /// Starts every compute that has become ready.
+    fn pump(&mut self) {
+        for g in 0..self.gpus.len() {
+            let gpu = &self.gpus[g];
+            if gpu.running.is_some() || gpu.cur >= gpu.slots.len() {
+                continue;
+            }
+            let slot = gpu.slots[gpu.cur];
+            let mb = gpu.mb;
+            if !slot.load.usable || !self.input_ready(slot.step, slot.stage, slot.phase, mb) {
+                continue;
+            }
+            let duration = match slot.phase {
+                Phase::Fwd => self.stages[slot.stage].fwd,
+                Phase::Bwd => self.stages[slot.stage].bwd,
+            };
+            let task = Task {
+                step: slot.step,
+                stage: slot.stage,
+                mb,
+                phase: slot.phase,
+            };
+            let now = self.engine.now();
+            self.gpus[g].running = Some((task, now));
+            self.engine.schedule_after(duration, Ev::ComputeDone { gpu: g });
+            if mb == 0 {
+                let cur = self.gpus[g].cur;
+                self.request_prefetch_for_next_slot(g, cur);
+            }
+        }
+    }
+
+    fn input_ready(&self, step: usize, stage: usize, phase: Phase, mb: usize) -> bool {
+        match phase {
+            Phase::Fwd => stage == 0 || self.act_in[step][stage][mb],
+            Phase::Bwd => stage == self.num_stages - 1 || self.grad_in[step][stage][mb],
+        }
+    }
+
+    fn compute_done(&mut self, g: usize) {
+        let (task, started) = self.gpus[g].running.take().expect("no task running");
+        let now = self.engine.now();
+        self.trace.record_compute(g, started, now);
+
+        let finished_slot = self.gpus[g].cur;
+        if task.mb + 1 == self.m {
+            self.gpus[g].cur += 1;
+            self.gpus[g].mb = 0;
+        } else {
+            self.gpus[g].mb = task.mb + 1;
+        }
+
+        let j = task.stage;
+        match task.phase {
+            Phase::Fwd => {
+                if j + 1 < self.num_stages {
+                    self.send_activation(task.step, j, task.mb);
+                }
+                if self.hetero && j > 0 && self.stages[j].in_act_bytes > 0 {
+                    // Checkpoint offload of this microbatch's stage input.
+                    let path = self.server.gpu_to_dram(g);
+                    self.launch(
+                        path,
+                        self.stages[j].in_act_bytes,
+                        30,
+                        Purpose::Bookkeeping,
+                        CommKind::ActivationOffload,
+                        vec![g],
+                    );
+                }
+            }
+            Phase::Bwd => {
+                self.bwd_done[task.step] += 1;
+                if self.bwd_done[task.step] == self.num_stages * self.m {
+                    self.step_boundaries[task.step] = now;
+                }
+                if j > 0 {
+                    self.send_grad(task.step, j, task.mb);
+                }
+                if self.hetero && task.mb + 1 == self.m {
+                    let path = self.server.gpu_to_dram(g);
+                    self.launch(
+                        path,
+                        self.stages[j].grad_bytes.max(1),
+                        20,
+                        Purpose::GradOffload {
+                            step: task.step,
+                            stage: j,
+                        },
+                        CommKind::GradientOffload,
+                        vec![g],
+                    );
+                }
+            }
+        }
+        if task.mb + 1 == self.m {
+            // Memory of the finished slot is free: start the next slot's
+            // residual upload.
+            self.start_residual_for_slot(g, finished_slot + 1);
+        }
+    }
+
+    fn send_activation(&mut self, step: usize, from: usize, mb: usize) {
+        let to = from + 1;
+        let g_from = self.mapping.gpu_of(from);
+        let g_to = self.mapping.gpu_of(to);
+        match self.server.gpu_to_gpu(g_from, g_to) {
+            None => self.act_in[step][to][mb] = true,
+            Some(path) => {
+                self.launch(
+                    path,
+                    self.stages[to].in_act_bytes.max(1),
+                    255,
+                    Purpose::ActTransfer {
+                        step,
+                        to_stage: to,
+                        mb,
+                        grad: false,
+                    },
+                    CommKind::ActivationTransfer,
+                    vec![g_from, g_to],
+                );
+            }
+        }
+    }
+
+    fn send_grad(&mut self, step: usize, from: usize, mb: usize) {
+        let to = from - 1;
+        let g_from = self.mapping.gpu_of(from);
+        let g_to = self.mapping.gpu_of(to);
+        match self.server.gpu_to_gpu(g_from, g_to) {
+            None => self.grad_in[step][to][mb] = true,
+            Some(path) => {
+                self.launch(
+                    path,
+                    self.stages[from].in_act_bytes.max(1),
+                    255,
+                    Purpose::ActTransfer {
+                        step,
+                        to_stage: to,
+                        mb,
+                        grad: true,
+                    },
+                    CommKind::ActivationTransfer,
+                    vec![g_from, g_to],
+                );
+            }
+        }
+    }
+
+    /// When slot `idx` starts computing its first microbatch, the next
+    /// slot's data may prefetch into the reserved memory (constraint 5),
+    /// unless gated on a pending gradient flush.
+    fn request_prefetch_for_next_slot(&mut self, g: usize, idx: usize) {
+        let next = idx + 1;
+        if next >= self.gpus[g].slots.len() || !self.cfg.prefetch {
+            return;
+        }
+        let reserved = self
+            .cfg
+            .gpu_mem_bytes
+            .saturating_sub(self.gpus[g].slots[idx].resident);
+        {
+            let l = &self.gpus[g].slots[next].load;
+            if l.prefetch_launched || l.total_bytes == 0 {
+                return;
+            }
+        }
+        if self.load_gate_open(g, next) {
+            self.launch_prefetch(g, next, reserved);
+        } else {
+            self.gpus[g].slots[next].load.prefetch_wanted = Some(reserved);
+        }
+    }
+
+    fn launch_prefetch(&mut self, g: usize, idx: usize, reserved: u64) {
+        let slot = self.gpus[g].slots[idx];
+        let p;
+        {
+            let l = &mut self.gpus[g].slots[idx].load;
+            if l.prefetch_launched {
+                return;
+            }
+            l.prefetch_launched = true;
+            l.prefetch_wanted = None;
+            p = l.total_bytes.min(reserved);
+            l.prefetch_bytes = p;
+            if p == 0 {
+                return; // everything uploads as residual
+            }
+            l.prefetch_done = false;
+        }
+        let prio = self.load_priority(slot.stage, slot.phase);
+        let path = self.server.dram_to_gpu(g);
+        self.launch(
+            path,
+            p,
+            prio,
+            Purpose::Load {
+                gpu: g,
+                idx,
+                residual: false,
+            },
+            CommKind::StageUpload,
+            vec![g],
+        );
+    }
+
+    /// When slot `idx - 1` retires (or at t = 0 for the first slot), the
+    /// slot's remaining bytes upload, blocking its computation — again
+    /// gated on the previous step's gradient flush.
+    fn start_residual_for_slot(&mut self, g: usize, idx: usize) {
+        if idx >= self.gpus[g].slots.len() {
+            return;
+        }
+        if self.load_gate_open(g, idx) {
+            self.launch_residual(g, idx);
+        } else {
+            self.gpus[g].slots[idx].load.residual_wanted = true;
+        }
+    }
+
+    fn launch_residual(&mut self, g: usize, idx: usize) {
+        let slot = self.gpus[g].slots[idx];
+        let bytes;
+        {
+            let l = &mut self.gpus[g].slots[idx].load;
+            if l.residual_started {
+                return;
+            }
+            l.residual_started = true;
+            l.residual_wanted = false;
+            // If no prefetch was ever launched (first slot), everything is
+            // residual.
+            l.prefetch_launched = true;
+            bytes = l.total_bytes - l.prefetch_bytes;
+            if bytes == 0 {
+                l.residual_done = true;
+                if l.transferred() && !l.overhead_scheduled {
+                    l.overhead_scheduled = true;
+                    let overhead = self.cfg.swap_overhead;
+                    self.engine
+                        .schedule_after(overhead, Ev::LoadUsable { gpu: g, idx });
+                }
+                return;
+            }
+        }
+        let prio = self.load_priority(slot.stage, slot.phase);
+        let path = self.server.dram_to_gpu(g);
+        self.launch(
+            path,
+            bytes,
+            prio,
+            Purpose::Load {
+                gpu: g,
+                idx,
+                residual: true,
+            },
+            CommKind::StageUpload,
+            vec![g],
+        );
+    }
+
+    /// Prefetch priority (§3.3): the stage that executes earlier gets the
+    /// higher priority. Forward slots precede backward slots; backward runs
+    /// in reverse stage order.
+    fn load_priority(&self, stage: usize, phase: Phase) -> u8 {
+        if !self.cfg.prioritized_loads {
+            return 100;
+        }
+        let s = self.num_stages;
+        let rank = match phase {
+            Phase::Fwd => stage,
+            Phase::Bwd => s + (s - 1 - stage),
+        };
+        (200usize.saturating_sub(rank)).max(1) as u8
+    }
+
+    fn launch(
+        &mut self,
+        path: Vec<mobius_sim::LinkId>,
+        bytes: u64,
+        prio: u8,
+        purpose: Purpose,
+        kind: CommKind,
+        gpus: Vec<usize>,
+    ) {
+        let fid = self
+            .server
+            .net_mut()
+            .start_flow(path, bytes as f64, prio, 0);
+        self.flows.insert(fid, (purpose, kind, gpus));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+    use mobius_topology::GpuSpec;
+
+    const GB: u64 = 1 << 30;
+
+    fn stage(ms: u64, param: u64, act: u64) -> StageCosts {
+        StageCosts {
+            fwd: SimTime::from_millis(ms),
+            bwd: SimTime::from_millis(2 * ms),
+            param_bytes: param,
+            grad_bytes: param,
+            in_act_bytes: act,
+            out_act_bytes: act,
+            workspace_bytes: 0,
+        }
+    }
+
+    fn topo22() -> Topology {
+        Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2])
+    }
+
+    fn cfg(m: usize, mode: MemoryMode) -> PipelineConfig {
+        PipelineConfig {
+            num_microbatches: m,
+            gpu_mem_bytes: 24 * GB,
+            bandwidth: 13.1e9,
+            memory_mode: mode,
+            swap_overhead: SimTime::ZERO,
+            act_latency: SimTime::ZERO,
+            prefetch: true,
+            prioritized_loads: true,
+        }
+    }
+
+    #[test]
+    fn resident_mode_matches_gpipe_analytic() {
+        // 4 equal stages with negligible communication: the event-driven
+        // executor must land exactly on the GPipe fill/drain makespan.
+        let stages: Vec<StageCosts> = (0..4).map(|_| stage(10, 100, 1)).collect();
+        let mapping = Mapping::sequential(4, 4);
+        let rep = simulate_step(&stages, &mapping, &topo22(), &cfg(4, MemoryMode::Resident))
+            .unwrap();
+        // fwd drain at 70ms, bwd at 70 + 140 = 210ms (act hops ~ns).
+        let t = rep.step_time.as_secs_f64();
+        assert!((t - 0.210).abs() < 1e-3, "step {t}");
+    }
+
+    #[test]
+    fn hetero_uploads_generate_traffic() {
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(10, GB, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let rep = simulate_step(
+            &stages,
+            &mapping,
+            &topo22(),
+            &cfg(4, MemoryMode::Heterogeneous),
+        )
+        .unwrap();
+        let by_kind = rep.trace.traffic_by_kind();
+        // 8 fwd loads + 4 bwd re-loads (per-GPU-last stages keep params).
+        let uploads = by_kind[&CommKind::StageUpload];
+        assert!(
+            uploads >= 12.0 * GB as f64,
+            "uploads {} GiB",
+            uploads / GB as f64
+        );
+        assert!(by_kind.contains_key(&CommKind::GradientOffload));
+        assert!(rep.drain_time >= rep.step_time);
+    }
+
+    #[test]
+    fn contention_slows_topo4_relative_to_2_plus_2() {
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(30, 2 * GB, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let c = cfg(4, MemoryMode::Heterogeneous);
+        let t22 = simulate_step(&stages, &mapping, &topo22(), &c)
+            .unwrap()
+            .step_time;
+        let t4 = simulate_step(
+            &stages,
+            &mapping,
+            &Topology::commodity(GpuSpec::rtx3090ti(), &[4]),
+            &c,
+        )
+        .unwrap()
+        .step_time;
+        assert!(
+            t4 > t22,
+            "Topo 4 ({t4}) should be slower than Topo 2+2 ({t22})"
+        );
+    }
+
+    #[test]
+    fn cross_mapping_helps_under_contention() {
+        // Communication-heavy stages on 8 GPUs, 4+4 topology (the paper's
+        // Figure 10 setting).
+        let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[4, 4]);
+        let stages: Vec<StageCosts> = (0..16).map(|_| stage(25, 2 * GB, 8 << 20)).collect();
+        let c = cfg(8, MemoryMode::Heterogeneous);
+        let seq = Mapping::sequential(16, 8);
+        let cross = Mapping::cross(&topo, 16);
+        let t_seq = simulate_step(&stages, &seq, &topo, &c).unwrap().step_time;
+        let t_cross = simulate_step(&stages, &cross, &topo, &c).unwrap().step_time;
+        assert!(
+            t_cross <= t_seq,
+            "cross {t_cross} should not lose to sequential {t_seq}"
+        );
+    }
+
+    #[test]
+    fn all_microbatches_complete() {
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(5, GB / 2, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let rep = simulate_step(
+            &stages,
+            &mapping,
+            &topo22(),
+            &cfg(3, MemoryMode::Heterogeneous),
+        )
+        .unwrap();
+        assert!(rep.step_time > SimTime::ZERO);
+        // Every GPU computed 2 stages × 3 mb × (fwd + bwd).
+        for g in 0..4 {
+            assert!(rep.trace.compute_time(g) > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn oom_rejected() {
+        let stages: Vec<StageCosts> = (0..4).map(|_| stage(10, 30 * GB, 0)).collect();
+        let mapping = Mapping::sequential(4, 4);
+        let err = simulate_step(
+            &stages,
+            &mapping,
+            &topo22(),
+            &cfg(1, MemoryMode::Heterogeneous),
+        );
+        assert!(matches!(err, Err(ScheduleError::StageTooLarge { .. })));
+    }
+
+    #[test]
+    fn step_time_close_to_analytic_when_uncontended() {
+        // 4 GPUs, one stage each, different root complexes → no contention;
+        // executor and analytic should agree closely.
+        let stages: Vec<StageCosts> = (0..4).map(|_| stage(50, GB, 1 << 20)).collect();
+        let mapping = Mapping::sequential(4, 4);
+        let c = cfg(4, MemoryMode::Heterogeneous);
+        let analytic = crate::evaluate_analytic(&stages, &mapping, &c)
+            .unwrap()
+            .step_time;
+        let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 1, 1, 1]);
+        let sim = simulate_step(&stages, &mapping, &topo, &c).unwrap().step_time;
+        let ratio = sim.as_secs_f64() / analytic.as_secs_f64();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "sim {sim} vs analytic {analytic} (ratio {ratio})"
+        );
+    }
+
+    // ----- multi-step -----
+
+    #[test]
+    fn multi_step_boundaries_increase() {
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(10, GB / 2, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let rep = simulate_steps(
+            &stages,
+            &mapping,
+            &topo22(),
+            &cfg(4, MemoryMode::Heterogeneous),
+            3,
+        )
+        .unwrap();
+        assert_eq!(rep.step_boundaries.len(), 3);
+        assert!(rep.step_boundaries.windows(2).all(|w| w[0] < w[1]));
+        assert!(rep.drain_time >= rep.step_boundaries[2]);
+    }
+
+    #[test]
+    fn steady_state_stays_within_band_of_first_step() {
+        // Cross-step prefetching hides the next step's first uploads behind
+        // the current step's backward tail, but the steady-state step also
+        // pays the gradient-flush dependency (stage 0's gradients land last
+        // and gate its reload), so it sits near — not below — the first
+        // step.
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(40, 2 * GB, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let rep = simulate_steps(
+            &stages,
+            &mapping,
+            &topo22(),
+            &cfg(4, MemoryMode::Heterogeneous),
+            4,
+        )
+        .unwrap();
+        let first = rep.step_duration(0).as_secs_f64();
+        let steady = rep.steady_state_step().as_secs_f64();
+        let ratio = steady / first;
+        assert!(
+            (0.85..1.25).contains(&ratio),
+            "steady {steady:.2}s vs first {first:.2}s (ratio {ratio:.2})"
+        );
+        // Later steps are consistent with each other (within 5%).
+        let s2 = rep.step_duration(2).as_secs_f64();
+        let s3 = rep.step_duration(3).as_secs_f64();
+        assert!(
+            (s2 / s3 - 1.0).abs() < 0.05,
+            "steps 2/3 diverge: {s2} vs {s3}"
+        );
+    }
+
+    #[test]
+    fn multi_step_traffic_scales_linearly() {
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(10, GB, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let c = cfg(2, MemoryMode::Heterogeneous);
+        let one = simulate_steps(&stages, &mapping, &topo22(), &c, 1)
+            .unwrap()
+            .trace
+            .total_traffic();
+        let three = simulate_steps(&stages, &mapping, &topo22(), &c, 3)
+            .unwrap()
+            .trace
+            .total_traffic();
+        let ratio = three / one;
+        assert!(
+            (2.9..3.1).contains(&ratio),
+            "3 steps should move 3x the bytes, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn gradient_gate_orders_reload_after_flush() {
+        // One GPU, one stage, two steps: step 1's forward load may only run
+        // after step 0's gradient offload.
+        let s = StageCosts {
+            fwd: SimTime::from_millis(10),
+            bwd: SimTime::from_millis(20),
+            param_bytes: GB,
+            grad_bytes: 4 * GB,
+            in_act_bytes: 0,
+            out_act_bytes: 0,
+            workspace_bytes: 0,
+        };
+        let mapping = Mapping::from_table(vec![0], 1);
+        let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[1]);
+        let rep =
+            simulate_steps(&[s], &mapping, &topo, &cfg(1, MemoryMode::Heterogeneous), 2).unwrap();
+        // Step 1 cannot finish before: step 0 compute (30ms) + gradient
+        // offload (4 GiB) + parameter reload (1 GiB) + compute (30ms).
+        let lower_bound =
+            0.030 + 4.0 * GB as f64 / 13.1e9 + GB as f64 / 13.1e9 + 0.030;
+        let total = rep.step_boundaries[1].as_secs_f64();
+        assert!(
+            total >= lower_bound * 0.98,
+            "step 1 finished at {total:.3}s, before the gradient flush allows \
+             ({lower_bound:.3}s)"
+        );
+    }
+
+    #[test]
+    fn resident_multi_step_has_no_gating() {
+        let stages: Vec<StageCosts> = (0..4).map(|_| stage(10, 100, 1)).collect();
+        let mapping = Mapping::sequential(4, 4);
+        let rep = simulate_steps(
+            &stages,
+            &mapping,
+            &topo22(),
+            &cfg(4, MemoryMode::Resident),
+            2,
+        )
+        .unwrap();
+        // Two identical GPipe steps back to back.
+        let d0 = rep.step_duration(0).as_secs_f64();
+        let d1 = rep.step_duration(1).as_secs_f64();
+        assert!((d0 / d1 - 1.0).abs() < 0.02, "{d0} vs {d1}");
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII Gantt rendering of pipeline schedules — the textual analogue of
+//! the paper's Figure 4, showing per-GPU timelines of forward (`F`),
+//! backward (`B`) compute and the gaps in between.
+//!
+//! # Example output (4 stages on 2 GPUs)
+//!
+//! ```text
+//! P0 |0000    11110000    1111|
+//! P1 |    22223333    22223333|
+//! ```
+
+use mobius_mapping::Mapping;
+use mobius_sim::SimTime;
+
+use crate::{AnalyticSchedule, StageCosts};
+
+/// Renders an [`AnalyticSchedule`] as per-GPU ASCII timelines.
+///
+/// Each row is one GPU; each column is a time bucket of
+/// `step_time / width`. A cell shows the stage id (mod 10) computing in
+/// that bucket — lowercase-style digits for forward, the same digit
+/// *prefixed row-wise* under a `B:` band for backward would be noisy, so
+/// instead forward cells print the digit and backward cells print `*`
+/// overlaid variants: digits for forward, letters `a`-`j` for backward
+/// (stage id mod 10 → letter). Idle buckets are spaces.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or the schedule/mapping disagree on stage count.
+pub fn render_gantt(
+    schedule: &AnalyticSchedule,
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    width: usize,
+) -> String {
+    assert!(width > 0, "need at least one column");
+    assert_eq!(
+        schedule.fwd_start.len(),
+        mapping.num_stages(),
+        "schedule and mapping disagree"
+    );
+    let total = schedule.step_time.as_secs_f64().max(1e-12);
+    let m = schedule.fwd_start.first().map_or(0, |v| v.len());
+    let n = mapping.num_gpus();
+
+    let mut rows = vec![vec![' '; width]; n];
+    let mut paint = |gpu: usize, start: SimTime, dur: SimTime, c: char| {
+        let s = (start.as_secs_f64() / total * width as f64).floor() as usize;
+        let e = ((start + dur).as_secs_f64() / total * width as f64).ceil() as usize;
+        for cell in rows[gpu][s.min(width)..e.min(width)].iter_mut() {
+            *cell = c;
+        }
+    };
+    for (j, stage) in stages.iter().enumerate() {
+        let gpu = mapping.gpu_of(j);
+        let fwd_char = char::from_digit((j % 10) as u32, 10).unwrap_or('?');
+        let bwd_char = (b'a' + (j % 10) as u8) as char;
+        for mb in 0..m {
+            paint(gpu, schedule.fwd_start[j][mb], stage.fwd, fwd_char);
+            paint(gpu, schedule.bwd_start[j][mb], stage.bwd, bwd_char);
+        }
+    }
+    let mut out = String::new();
+    for (g, row) in rows.iter().enumerate() {
+        out.push_str(&format!("P{g} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Utilization per GPU: the fraction of the step each GPU spends computing.
+pub fn utilization(
+    schedule: &AnalyticSchedule,
+    stages: &[StageCosts],
+    mapping: &Mapping,
+) -> Vec<f64> {
+    let total = schedule.step_time.as_secs_f64().max(1e-12);
+    let m = schedule.fwd_start.first().map_or(0, |v| v.len());
+    let mut busy = vec![0.0; mapping.num_gpus()];
+    for (j, stage) in stages.iter().enumerate() {
+        busy[mapping.gpu_of(j)] +=
+            m as f64 * (stage.fwd.as_secs_f64() + stage.bwd.as_secs_f64());
+    }
+    busy.into_iter().map(|b| (b / total).min(1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate_analytic, MemoryMode, PipelineConfig};
+
+    fn stage(ms: u64) -> StageCosts {
+        StageCosts {
+            fwd: SimTime::from_millis(ms),
+            bwd: SimTime::from_millis(2 * ms),
+            param_bytes: 1000,
+            grad_bytes: 1000,
+            in_act_bytes: 0,
+            out_act_bytes: 0,
+            workspace_bytes: 0,
+        }
+    }
+
+    fn schedule() -> (AnalyticSchedule, Vec<StageCosts>, Mapping) {
+        let stages: Vec<StageCosts> = (0..4).map(|_| stage(10)).collect();
+        let mapping = Mapping::sequential(4, 2);
+        let cfg = PipelineConfig {
+            memory_mode: MemoryMode::Resident,
+            ..PipelineConfig::mobius(2, 1 << 30, 13.1e9)
+        };
+        let sch = evaluate_analytic(&stages, &mapping, &cfg).unwrap();
+        (sch, stages, mapping)
+    }
+
+    #[test]
+    fn renders_one_row_per_gpu() {
+        let (sch, stages, mapping) = schedule();
+        let g = render_gantt(&sch, &stages, &mapping, 60);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("P0 |"));
+        assert!(lines[1].starts_with("P1 |"));
+        // Forward digits and backward letters both appear.
+        assert!(g.contains('0'));
+        assert!(g.contains('a'));
+    }
+
+    #[test]
+    fn gpu0_runs_stages_0_and_2() {
+        let (sch, stages, mapping) = schedule();
+        let g = render_gantt(&sch, &stages, &mapping, 80);
+        let p0 = g.lines().next().unwrap();
+        assert!(p0.contains('0') && p0.contains('2'));
+        assert!(!p0.contains('1') && !p0.contains('3'));
+    }
+
+    #[test]
+    fn utilization_in_unit_range_and_equal_for_symmetric_stages() {
+        let (sch, stages, mapping) = schedule();
+        let u = utilization(&sch, &stages, &mapping);
+        assert_eq!(u.len(), 2);
+        for &x in &u {
+            assert!((0.0..=1.0).contains(&x));
+        }
+        assert!((u[0] - u[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_width_rejected() {
+        let (sch, stages, mapping) = schedule();
+        render_gantt(&sch, &stages, &mapping, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The discrete-event engine: a time-ordered queue of user events.
+//!
+//! [`Engine`] is deliberately minimal — executors (pipeline, ZeRO, …) own the
+//! simulation loop and interleave engine events with flow completions from
+//! [`crate::FlowNetwork`]. Events scheduled for the same instant pop in
+//! insertion order (FIFO tie-breaking), which keeps executors deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A time-ordered event queue driving a discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use mobius_sim::{Engine, SimTime};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::from_secs(2), "late");
+/// engine.schedule(SimTime::from_secs(1), "early");
+/// let (t, ev) = engine.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1), "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (the event fires
+    /// immediately on the next pop); this makes executors robust to rounding
+    /// in bandwidth arithmetic.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Timestamp of the next event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went backwards");
+        self.now = s.at;
+        Some((s.at, s.payload))
+    }
+
+    /// Advances the clock without popping (used when a flow completion, not
+    /// an engine event, is the next thing to happen).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `to` is earlier than the current time.
+    pub fn advance_to(&mut self, to: SimTime) {
+        debug_assert!(to >= self.now, "cannot advance the clock backwards");
+        self.now = self.now.max(to);
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(3), 3u32);
+        e.schedule(SimTime::from_secs(1), 1u32);
+        e.schedule(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut e = Engine::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10u32 {
+            e.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(5), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(5), "a");
+        e.pop();
+        e.schedule(SimTime::from_secs(1), "b");
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(2), "first");
+        e.pop();
+        e.schedule_after(SimTime::from_secs(3), "second");
+        assert_eq!(e.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut e = Engine::new();
+        assert!(e.is_empty());
+        e.schedule(SimTime::ZERO, ());
+        assert_eq!(e.len(), 1);
+        e.pop();
+        assert!(e.is_empty());
+    }
+}

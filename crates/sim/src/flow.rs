@@ -1,0 +1,548 @@
+//! Fluid-flow bandwidth model with max-min fair sharing and strict priorities.
+//!
+//! Transfers in a GPU server are modelled as *flows* over a set of *links*
+//! (PCIe lanes, root-complex uplinks, memory buses, NVLink). At any instant
+//! every flow has a rate determined by:
+//!
+//! 1. **Strict priority**: higher-priority flows are allocated first; lower
+//!    priorities share what is left. This models
+//!    `cudaStreamCreateWithPriority`, which Mobius uses to order prefetches
+//!    (§3.3 of the paper).
+//! 2. **Max-min fairness** within a priority class: the classic water-filling
+//!    allocation, which is how concurrent DMA engines behind a shared PCIe
+//!    root complex divide bandwidth in practice (the 50 %-of-peak plateau in
+//!    Figure 2 of the paper).
+//!
+//! The model is *fluid*: rates stay constant between flow arrivals and
+//! departures, so the network only needs to be re-solved at those instants.
+
+use std::collections::BTreeMap;
+
+use crate::SimTime;
+
+/// Identifies a link added with [`FlowNetwork::add_link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Index of this link inside its network.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies an in-flight flow returned by [`FlowNetwork::start_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+/// Priority class of a flow; larger values pre-empt smaller ones.
+pub type Priority = u8;
+
+#[derive(Debug, Clone)]
+struct Link {
+    label: String,
+    capacity: f64, // bytes per second
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    path: Vec<LinkId>,
+    remaining: f64, // bytes
+    total: f64,
+    priority: Priority,
+    rate: f64, // bytes per second, recomputed on every network change
+    started: SimTime,
+    user: u64,
+}
+
+/// A completed transfer, reported by [`FlowNetwork::complete`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRecord {
+    /// Total bytes carried.
+    pub bytes: f64,
+    /// When the flow entered the network.
+    pub started: SimTime,
+    /// When the flow drained.
+    pub finished: SimTime,
+    /// The links it crossed.
+    pub path: Vec<LinkId>,
+    /// Caller-supplied correlation token.
+    pub user: u64,
+}
+
+impl FlowRecord {
+    /// Average achieved bandwidth in bytes/second.
+    ///
+    /// Instantaneous flows report the capacity-equivalent of their size over
+    /// one nanosecond, so callers never divide by zero.
+    pub fn avg_rate(&self) -> f64 {
+        let dt = (self.finished - self.started).as_secs_f64().max(1e-9);
+        self.bytes / dt
+    }
+
+    /// Average achieved bandwidth in GB/s (10^9 bytes per second).
+    pub fn avg_gbps(&self) -> f64 {
+        self.avg_rate() / 1e9
+    }
+}
+
+/// A capacity-constrained network of links carrying fluid flows.
+///
+/// # Examples
+///
+/// Two equal flows across one 10 GB/s link each get 5 GB/s:
+///
+/// ```
+/// use mobius_sim::{FlowNetwork, SimTime};
+///
+/// let mut net = FlowNetwork::new();
+/// let l = net.add_link("uplink", 10.0e9);
+/// let a = net.start_flow(vec![l], 5.0e9, 0, 1);
+/// let _b = net.start_flow(vec![l], 5.0e9, 0, 2);
+/// assert!((net.rate_of(a).unwrap() - 5.0e9).abs() < 1.0);
+/// let (t, _first) = net.next_completion().unwrap();
+/// assert_eq!(t, SimTime::from_secs(1)); // both drain 5 GB at 5 GB/s
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    links: Vec<Link>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    now: SimTime,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current network time (advanced by [`FlowNetwork::advance_to`]).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a link with capacity in **bytes per second** and returns its id.
+    pub fn add_link(&mut self, label: impl Into<String>, capacity_bytes_per_sec: f64) -> LinkId {
+        assert!(
+            capacity_bytes_per_sec > 0.0,
+            "link capacity must be positive"
+        );
+        self.links.push(Link {
+            label: label.into(),
+            capacity: capacity_bytes_per_sec,
+        });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Label of a link (for diagnostics).
+    pub fn link_label(&self, id: LinkId) -> &str {
+        &self.links[id.0].label
+    }
+
+    /// Capacity of a link in bytes per second.
+    pub fn link_capacity(&self, id: LinkId) -> f64 {
+        self.links[id.0].capacity
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Starts a flow of `bytes` across `path` at `priority`, tagged with a
+    /// caller-defined `user` token, and returns its id. Rates of all flows
+    /// are re-solved immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty (zero-hop copies are the caller's business —
+    /// model them as instantaneous) or `bytes` is not positive and finite.
+    pub fn start_flow(
+        &mut self,
+        path: Vec<LinkId>,
+        bytes: f64,
+        priority: Priority,
+        user: u64,
+    ) -> FlowId {
+        assert!(!path.is_empty(), "flows must cross at least one link");
+        assert!(
+            bytes.is_finite() && bytes > 0.0,
+            "flow size must be positive"
+        );
+        for l in &path {
+            assert!(l.0 < self.links.len(), "unknown link in path");
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                remaining: bytes,
+                total: bytes,
+                priority,
+                rate: 0.0,
+                started: self.now,
+                user,
+            },
+        );
+        self.recompute_rates();
+        id
+    }
+
+    /// The current rate of a flow in bytes/second, if it is still active.
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of a flow, if it is still active.
+    pub fn remaining_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// The earliest instant at which some flow drains, with its id.
+    ///
+    /// Ties resolve to the smallest id so executors are deterministic.
+    /// Returns `None` when no flow is moving (no flows, or all blocked).
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let dt = f.remaining / f.rate;
+            // Round *up* to the next nanosecond so that advancing to the
+            // completion instant always drains the flow fully (rounding to
+            // nearest can leave a few bytes at multi-GB/s rates).
+            let ns = (dt * 1e9).ceil();
+            let at = self.now
+                + if ns >= u64::MAX as f64 {
+                    SimTime::MAX
+                } else {
+                    SimTime::from_nanos(ns as u64)
+                };
+            // Guarantee progress: a flow never completes "now" unless it
+            // truly has nothing left.
+            let at = if f.remaining > 0.0 && at == self.now {
+                self.now + SimTime::from_nanos(1)
+            } else {
+                at
+            };
+            match best {
+                Some((t, _)) if t <= at => {}
+                _ => best = Some((at, id)),
+            }
+        }
+        best
+    }
+
+    /// Advances network time to `to`, draining every flow at its current
+    /// rate. Must not skip past a completion returned by
+    /// [`FlowNetwork::next_completion`].
+    pub fn advance_to(&mut self, to: SimTime) {
+        if to <= self.now {
+            return;
+        }
+        let dt = (to - self.now).as_secs_f64();
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        self.now = to;
+    }
+
+    /// Removes flow `id` and returns its record; rates are re-solved.
+    ///
+    /// The caller decides *when* a flow is complete (typically at the instant
+    /// reported by [`FlowNetwork::next_completion`]); sub-byte residues from
+    /// floating-point rounding are forgiven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or if more than one byte is still pending
+    /// (completing a visibly unfinished flow is an executor bug).
+    pub fn complete(&mut self, id: FlowId) -> FlowRecord {
+        let f = self.flows.remove(&id).expect("unknown flow id");
+        assert!(
+            f.remaining <= 64.0,
+            "flow {:?} completed with {} bytes remaining",
+            id,
+            f.remaining
+        );
+        self.recompute_rates();
+        FlowRecord {
+            bytes: f.total,
+            started: f.started,
+            finished: self.now,
+            path: f.path,
+            user: f.user,
+        }
+    }
+
+    /// Cancels a flow without asserting completion (e.g. aborted prefetch),
+    /// returning the bytes actually moved.
+    pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
+        let f = self.flows.remove(&id)?;
+        self.recompute_rates();
+        Some(f.total - f.remaining)
+    }
+
+    /// Re-solves rates: strict priority between classes, max-min water
+    /// filling inside each class.
+    fn recompute_rates(&mut self) {
+        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+
+        // Gather distinct priorities, highest first.
+        let mut prios: Vec<Priority> = self.flows.values().map(|f| f.priority).collect();
+        prios.sort_unstable_by(|a, b| b.cmp(a));
+        prios.dedup();
+
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+
+        for prio in prios {
+            let ids: Vec<FlowId> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.priority == prio)
+                .map(|(&id, _)| id)
+                .collect();
+            let rates = water_fill(&ids, &self.flows, &residual);
+            for (id, rate) in ids.iter().zip(rates.iter()) {
+                let f = self.flows.get_mut(id).expect("flow vanished");
+                f.rate = *rate;
+                for l in &f.path {
+                    residual[l.0] = (residual[l.0] - rate).max(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Max-min fair ("water-filling") allocation for one priority class.
+///
+/// Returns a rate for each flow in `ids`, in order.
+fn water_fill(ids: &[FlowId], flows: &BTreeMap<FlowId, Flow>, residual: &[f64]) -> Vec<f64> {
+    let n = ids.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut frozen = vec![false; n];
+    let mut link_residual = residual.to_vec();
+
+    loop {
+        // Count unfrozen flows per link.
+        let mut users: Vec<usize> = vec![0; link_residual.len()];
+        for (i, id) in ids.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for l in &flows[id].path {
+                users[l.0] += 1;
+            }
+        }
+        // Bottleneck link: minimal residual/users among used links.
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for (li, (&res, &u)) in link_residual.iter().zip(users.iter()).enumerate() {
+            if u == 0 {
+                continue;
+            }
+            let share = res / u as f64;
+            match bottleneck {
+                Some((_, s)) if s <= share => {}
+                _ => bottleneck = Some((li, share)),
+            }
+        }
+        let Some((bl, share)) = bottleneck else {
+            break; // every flow frozen
+        };
+        // Freeze all unfrozen flows crossing the bottleneck at `share`.
+        let mut froze_any = false;
+        for (i, id) in ids.iter().enumerate() {
+            if frozen[i] || !flows[id].path.contains(&LinkId(bl)) {
+                continue;
+            }
+            rates[i] = share;
+            frozen[i] = true;
+            froze_any = true;
+            for l in &flows[id].path {
+                link_residual[l.0] = (link_residual[l.0] - share).max(0.0);
+            }
+        }
+        if !froze_any {
+            break; // defensive: should be unreachable
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(x: f64) -> f64 {
+        x * 1e9
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(16.0));
+        let f = net.start_flow(vec![l], gbps(16.0), 0, 0);
+        assert!((net.rate_of(f).unwrap() - gbps(16.0)).abs() < 1.0);
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(12.0));
+        let a = net.start_flow(vec![l], gbps(6.0), 0, 0);
+        let b = net.start_flow(vec![l], gbps(6.0), 0, 1);
+        assert!((net.rate_of(a).unwrap() - gbps(6.0)).abs() < 1.0);
+        assert!((net.rate_of(b).unwrap() - gbps(6.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn remaining_flow_speeds_up_after_completion() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let a = net.start_flow(vec![l], gbps(5.0), 0, 0);
+        let _b = net.start_flow(vec![l], gbps(10.0), 0, 1);
+        // Both run at 5 GB/s; `a` finishes at t=1s.
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, a);
+        assert_eq!(t, SimTime::from_secs(1));
+        net.advance_to(t);
+        net.complete(a);
+        // `b` has 5 GB left and now gets the whole 10 GB/s: +0.5s.
+        let (t2, _) = net.next_completion().unwrap();
+        assert_eq!(t2, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn bottleneck_on_shared_segment_only() {
+        // Two private 16 GB/s lanes feeding one 13 GB/s uplink: each flow
+        // gets 6.5 GB/s (the commodity-server contention of the paper).
+        let mut net = FlowNetwork::new();
+        let lane_a = net.add_link("pcie-a", gbps(16.0));
+        let lane_b = net.add_link("pcie-b", gbps(16.0));
+        let uplink = net.add_link("root-complex", gbps(13.0));
+        let a = net.start_flow(vec![lane_a, uplink], gbps(100.0), 0, 0);
+        let b = net.start_flow(vec![lane_b, uplink], gbps(100.0), 0, 1);
+        assert!((net.rate_of(a).unwrap() - gbps(6.5)).abs() < 1.0);
+        assert!((net.rate_of(b).unwrap() - gbps(6.5)).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unbottlenecked_flow() {
+        // Flow a crosses the small link; b only the big one. a is capped at
+        // 4, b gets 16 (not 10 as equal split of the big link would give).
+        let mut net = FlowNetwork::new();
+        let small = net.add_link("small", gbps(4.0));
+        let big = net.add_link("big", gbps(20.0));
+        let a = net.start_flow(vec![small, big], gbps(1.0), 0, 0);
+        let b = net.start_flow(vec![big], gbps(1.0), 0, 1);
+        assert!((net.rate_of(a).unwrap() - gbps(4.0)).abs() < 1.0);
+        assert!((net.rate_of(b).unwrap() - gbps(16.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn strict_priority_preempts() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let hi = net.start_flow(vec![l], gbps(1.0), 5, 0);
+        let lo = net.start_flow(vec![l], gbps(1.0), 1, 1);
+        assert!((net.rate_of(hi).unwrap() - gbps(10.0)).abs() < 1.0);
+        assert_eq!(net.rate_of(lo).unwrap(), 0.0);
+        // After the high-priority flow drains, the low one resumes.
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, hi);
+        net.advance_to(t);
+        net.complete(hi);
+        assert!((net.rate_of(lo).unwrap() - gbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn conservation_no_link_oversubscribed() {
+        let mut net = FlowNetwork::new();
+        let l1 = net.add_link("l1", gbps(7.0));
+        let l2 = net.add_link("l2", gbps(5.0));
+        let ids: Vec<FlowId> = (0..6)
+            .map(|i| {
+                let path = match i % 3 {
+                    0 => vec![l1],
+                    1 => vec![l2],
+                    _ => vec![l1, l2],
+                };
+                net.start_flow(path, gbps(10.0), (i % 2) as u8, i)
+            })
+            .collect();
+        let mut on_l1 = 0.0;
+        let mut on_l2 = 0.0;
+        for (i, id) in ids.iter().enumerate() {
+            let r = net.rate_of(*id).unwrap();
+            match i % 3 {
+                0 => on_l1 += r,
+                1 => on_l2 += r,
+                _ => {
+                    on_l1 += r;
+                    on_l2 += r;
+                }
+            }
+        }
+        assert!(on_l1 <= gbps(7.0) + 1.0);
+        assert!(on_l2 <= gbps(5.0) + 1.0);
+    }
+
+    #[test]
+    fn record_reports_average_bandwidth() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(8.0));
+        let f = net.start_flow(vec![l], gbps(16.0), 0, 42);
+        let (t, _) = net.next_completion().unwrap();
+        net.advance_to(t);
+        let rec = net.complete(f);
+        assert_eq!(rec.user, 42);
+        assert!((rec.avg_gbps() - 8.0).abs() < 0.01);
+        assert_eq!(rec.finished, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancel_returns_bytes_moved() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let f = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        net.advance_to(SimTime::from_millis(500));
+        let moved = net.cancel(f).unwrap();
+        assert!((moved - gbps(5.0)).abs() < 1e6);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_path_rejected() {
+        let mut net = FlowNetwork::new();
+        net.start_flow(vec![], 1.0, 0, 0);
+    }
+
+    #[test]
+    fn blocked_flow_never_completes() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(1.0));
+        let _hi = net.start_flow(vec![l], gbps(100.0), 9, 0);
+        let lo = net.start_flow(vec![l], gbps(1.0), 0, 1);
+        assert_eq!(net.rate_of(lo).unwrap(), 0.0);
+        let (_, id) = net.next_completion().unwrap();
+        assert_ne!(id, lo);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mobius-sim
+//!
+//! A small discrete-event simulator for communication-bound GPU servers,
+//! built for the Mobius (ASPLOS '23) reproduction.
+//!
+//! The crate provides four orthogonal pieces:
+//!
+//! * [`SimTime`] — nanosecond simulated clock.
+//! * [`Engine`] — a time-ordered event queue; executors own the loop.
+//! * [`FlowNetwork`] — a fluid-flow bandwidth model with max-min fair
+//!   sharing and strict priorities, capturing PCIe root-complex contention.
+//! * [`TraceRecorder`] / [`Cdf`] / [`IntervalSet`] — the measurement side:
+//!   traffic counters, byte-weighted bandwidth CDFs, and compute/comm
+//!   overlap accounting.
+//!
+//! # Example: two GPUs contending on one root complex
+//!
+//! ```
+//! use mobius_sim::{FlowNetwork, SimTime};
+//!
+//! let mut net = FlowNetwork::new();
+//! let lane0 = net.add_link("gpu0-pcie", 16.0e9);
+//! let lane1 = net.add_link("gpu1-pcie", 16.0e9);
+//! let uplink = net.add_link("root-complex", 13.0e9);
+//!
+//! // Both GPUs pull 13 GB from DRAM at once: each gets 6.5 GB/s.
+//! let f0 = net.start_flow(vec![lane0, uplink], 13.0e9, 0, 0);
+//! let f1 = net.start_flow(vec![lane1, uplink], 13.0e9, 0, 1);
+//! assert!((net.rate_of(f0).unwrap() - 6.5e9).abs() < 1.0);
+//!
+//! let (t, _) = net.next_completion().unwrap();
+//! assert_eq!(t, SimTime::from_secs(2));
+//! # let _ = f1;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod flow;
+mod intervals;
+mod time;
+mod trace;
+
+pub use engine::Engine;
+pub use flow::{FlowId, FlowNetwork, FlowRecord, LinkId, Priority};
+pub use intervals::IntervalSet;
+pub use time::SimTime;
+pub use trace::{BandwidthSample, Cdf, CommKind, TraceRecorder};

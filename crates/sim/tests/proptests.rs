@@ -1,0 +1,120 @@
+//! Property-based tests of the simulation substrate's core invariants.
+
+use proptest::prelude::*;
+
+use mobius_sim::{Cdf, Engine, FlowNetwork, IntervalSet, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The engine pops events in non-decreasing time order regardless of
+    /// insertion order, and same-time events pop FIFO.
+    #[test]
+    fn engine_pops_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, idx)) = engine.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                // FIFO within a timestamp: payload indices increase.
+                if let Some(&prev) = seen_at_time.last() {
+                    if times[prev] == times[idx] {
+                        prop_assert!(idx > prev);
+                    }
+                }
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(idx);
+            last_time = t;
+        }
+    }
+
+    /// Completion times are consistent: the flow reported by
+    /// `next_completion` really has (almost) nothing left at that instant.
+    #[test]
+    fn next_completion_is_tight(
+        sizes in prop::collection::vec(0.01f64..5.0, 1..12),
+        cap in 1.0f64..20.0,
+    ) {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", cap * 1e9);
+        for (i, gb) in sizes.iter().enumerate() {
+            net.start_flow(vec![l], gb * 1e9, 0, i as u64);
+        }
+        while let Some((t, id)) = net.next_completion() {
+            net.advance_to(t);
+            let left = net.remaining_of(id).unwrap();
+            prop_assert!(left <= 64.0, "flow still has {left} bytes");
+            net.complete(id);
+        }
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+
+    /// Higher-priority flows always finish no later than equal-size
+    /// lower-priority flows started at the same time on the same path.
+    #[test]
+    fn priority_orders_completions(gb in 0.1f64..5.0, cap in 1.0f64..16.0) {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", cap * 1e9);
+        let hi = net.start_flow(vec![l], gb * 1e9, 5, 0);
+        let lo = net.start_flow(vec![l], gb * 1e9, 1, 1);
+        let mut hi_done = None;
+        let mut lo_done = None;
+        while let Some((t, id)) = net.next_completion() {
+            net.advance_to(t);
+            net.complete(id);
+            if id == hi {
+                hi_done = Some(t);
+            } else if id == lo {
+                lo_done = Some(t);
+            }
+        }
+        prop_assert!(hi_done.unwrap() <= lo_done.unwrap());
+    }
+
+    /// Union is commutative and associative on measure.
+    #[test]
+    fn interval_union_algebra(
+        a in prop::collection::vec((0u64..500, 1u64..50), 0..10),
+        b in prop::collection::vec((0u64..500, 1u64..50), 0..10),
+    ) {
+        let build = |v: &[(u64, u64)]| -> IntervalSet {
+            v.iter()
+                .map(|&(s, l)| (SimTime::from_millis(s), SimTime::from_millis(s + l)))
+                .collect()
+        };
+        let (sa, sb) = (build(&a), build(&b));
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        // |A ∪ B| >= max(|A|, |B|).
+        let u = sa.union(&sb);
+        prop_assert!(u.measure() >= sa.measure().max(sb.measure()));
+        // Difference then intersect are disjoint partitions of A.
+        let diff = sa.difference(&sb);
+        let inter = sa.intersect(&sb);
+        prop_assert_eq!(diff.measure() + inter.measure(), sa.measure());
+    }
+
+    /// Quantile is the inverse of fraction_at, up to discreteness.
+    #[test]
+    fn cdf_quantile_inverse(samples in prop::collection::vec((0.5f64..15.0, 0.1f64..4.0), 1..30)) {
+        let samples: Vec<mobius_sim::BandwidthSample> = samples
+            .into_iter()
+            .map(|(gbps, gb)| mobius_sim::BandwidthSample {
+                bytes: gb * 1e9,
+                seconds: gb / gbps,
+                gbps,
+                kind: mobius_sim::CommKind::Other,
+            })
+            .collect();
+        let cdf = Cdf::from_samples(samples.iter());
+        for p in [0.1, 0.5, 0.9] {
+            let q = cdf.quantile(p).unwrap();
+            prop_assert!(cdf.fraction_at(q) >= p - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,746 @@
+//! Reverse-mode automatic differentiation over a flat tape.
+//!
+//! The op set is exactly what a small GPT needs: matmuls (plain and
+//! `A·Bᵀ`), bias add, GELU, layer-norm, causal softmax, embedding lookup,
+//! and a fused softmax-cross-entropy loss. Every op's backward is verified
+//! against finite differences in the test suite.
+
+use crate::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    AddBias(usize, usize),
+    Matmul(usize, usize),
+    MatmulNt(usize, usize),
+    Scale(usize, f32),
+    Gelu(usize),
+    LayerNorm {
+        x: usize,
+        gain: usize,
+        bias: usize,
+    },
+    CausalSoftmax(usize),
+    Embedding {
+        table: usize,
+        tokens: Vec<usize>,
+    },
+    CrossEntropy {
+        logits: usize,
+        targets: Vec<usize>,
+    },
+    SliceCols {
+        x: usize,
+        start: usize,
+        len: usize,
+    },
+    ConcatCols(Vec<usize>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    /// Cached intermediates for backward (e.g. x̂ for layer-norm, softmax
+    /// probabilities for the loss).
+    aux: Vec<Tensor>,
+}
+
+/// A computation tape: build the graph forward, then call
+/// [`Tape::backward`] once.
+///
+/// # Examples
+///
+/// ```
+/// use mobius_tensor::{Tape, Tensor};
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_rows(&[&[3.0]]));
+/// let y = tape.scale(x, 2.0); // y = 2x
+/// tape.backward(y);
+/// assert_eq!(tape.grad(x).at(0, 0), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, aux: Vec<Tensor>) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            aux,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Adds an input (parameter or data) node.
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, vec![])
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node after [`Tape::backward`]; zeros if the node
+    /// did not influence the loss.
+    pub fn grad(&self, v: Var) -> Tensor {
+        let n = &self.nodes[v.0];
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a.0, b.0), vec![])
+    }
+
+    /// Adds a `1×d` bias row to every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a single row of matching width.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(bv.rows(), 1, "bias must be a single row");
+        assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
+        let v = Tensor::from_fn(xv.rows(), xv.cols(), |r, c| xv.at(r, c) + bv.at(0, c));
+        self.push(v, Op::AddBias(x.0, bias.0), vec![])
+    }
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::Matmul(a.0, b.0), vec![])
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        self.push(v, Op::MatmulNt(a.0, b.0), vec![])
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        self.push(v, Op::Scale(a.0, s), vec![])
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(gelu);
+        self.push(v, Op::Gelu(a.0), vec![])
+    }
+
+    /// Row-wise layer normalization with learnable gain and bias (`1×d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if gain/bias are not single rows of matching width.
+    pub fn layer_norm(&mut self, x: Var, gain: Var, bias: Var) -> Var {
+        let xv = self.nodes[x.0].value.clone();
+        let gv = &self.nodes[gain.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(gv.rows(), 1, "gain must be a single row");
+        assert_eq!(bv.rows(), 1, "bias must be a single row");
+        assert_eq!(gv.cols(), xv.cols(), "gain width mismatch");
+        assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
+        let d = xv.cols();
+        let mut xhat = Tensor::zeros(xv.rows(), d);
+        let mut inv_std = Tensor::zeros(xv.rows(), 1);
+        let mut out = Tensor::zeros(xv.rows(), d);
+        for r in 0..xv.rows() {
+            let row = xv.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + LN_EPS).sqrt();
+            inv_std.set(r, 0, istd);
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                xhat.set(r, c, xh);
+                out.set(r, c, gv.at(0, c) * xh + bv.at(0, c));
+            }
+        }
+        self.push(
+            out,
+            Op::LayerNorm {
+                x: x.0,
+                gain: gain.0,
+                bias: bias.0,
+            },
+            vec![xhat, inv_std],
+        )
+    }
+
+    /// Row-wise softmax over scores with a causal mask: entry `(i, j)` with
+    /// `j > i` is masked to probability 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn causal_softmax(&mut self, s: Var) -> Var {
+        let sv = &self.nodes[s.0].value;
+        assert_eq!(sv.rows(), sv.cols(), "attention scores must be square");
+        let n = sv.rows();
+        let mut p = Tensor::zeros(n, n);
+        for i in 0..n {
+            let row = sv.row(i);
+            let max = row[..=i].iter().cloned().fold(f32::MIN, f32::max);
+            let mut z = 0.0;
+            for j in 0..=i {
+                z += (row[j] - max).exp();
+            }
+            for j in 0..=i {
+                p.set(i, j, (row[j] - max).exp() / z);
+            }
+        }
+        let aux = vec![p.clone()];
+        self.push(p, Op::CausalSoftmax(s.0), aux)
+    }
+
+    /// Gathers `tokens` rows of an embedding table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-vocabulary tokens.
+    pub fn embedding(&mut self, table: Var, tokens: &[usize]) -> Var {
+        let tv = &self.nodes[table.0].value;
+        for &t in tokens {
+            assert!(t < tv.rows(), "token {t} out of vocabulary");
+        }
+        let v = Tensor::from_fn(tokens.len(), tv.cols(), |r, c| tv.at(tokens[r], c));
+        self.push(
+            v,
+            Op::Embedding {
+                table: table.0,
+                tokens: tokens.to_vec(),
+            },
+            vec![],
+        )
+    }
+
+    /// Mean softmax-cross-entropy between `logits` rows and target ids;
+    /// returns a `1×1` scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target count mismatches the logit rows.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.rows(), targets.len(), "one target per position");
+        let n = lv.rows();
+        let mut probs = Tensor::zeros(n, lv.cols());
+        let mut loss = 0.0;
+        for i in 0..n {
+            let row = lv.row(i);
+            let max = row.iter().cloned().fold(f32::MIN, f32::max);
+            let z: f32 = row.iter().map(|v| (v - max).exp()).sum();
+            for (j, &v) in row.iter().enumerate() {
+                probs.set(i, j, (v - max).exp() / z);
+            }
+            loss -= (probs.at(i, targets[i]).max(1e-12)).ln();
+        }
+        let value = Tensor::from_rows(&[&[loss / n as f32]]);
+        self.push(
+            value,
+            Op::CrossEntropy {
+                logits: logits.0,
+                targets: targets.to_vec(),
+            },
+            vec![probs],
+        )
+    }
+
+    /// A view of columns `[start, start + len)` of `x` as a new node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the width of `x` or `len == 0`.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert!(len > 0, "empty slice");
+        assert!(start + len <= xv.cols(), "slice out of range");
+        let v = Tensor::from_fn(xv.rows(), len, |r, c| xv.at(r, start + c));
+        self.push(
+            v,
+            Op::SliceCols {
+                x: x.0,
+                start,
+                len,
+            },
+            vec![],
+        )
+    }
+
+    /// Concatenates nodes side by side (all must share a row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let rows = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts
+            .iter()
+            .map(|p| {
+                let t = &self.nodes[p.0].value;
+                assert_eq!(t.rows(), rows, "row count mismatch");
+                t.cols()
+            })
+            .sum();
+        let mut v = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for p in parts {
+            let t = &self.nodes[p.0].value;
+            for r in 0..rows {
+                for c in 0..t.cols() {
+                    v.set(r, off + c, t.at(r, c));
+                }
+            }
+            off += t.cols();
+        }
+        self.push(v, Op::ConcatCols(parts.iter().map(|p| p.0).collect()), vec![])
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (a `1×1` node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar.
+    pub fn backward(&mut self, loss: Var) {
+        {
+            let lv = &self.nodes[loss.0].value;
+            assert_eq!((lv.rows(), lv.cols()), (1, 1), "loss must be scalar");
+        }
+        self.nodes[loss.0].grad = Some(Tensor::from_rows(&[&[1.0]]));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::AddBias(x, bias) => {
+                    let bias_grad = Tensor::from_fn(1, g.cols(), |_, c| {
+                        (0..g.rows()).map(|r| g.at(r, c)).sum()
+                    });
+                    self.accum(x, g);
+                    self.accum(bias, bias_grad);
+                }
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul_nt(&self.nodes[b].value);
+                    let gb = self.nodes[a].value.matmul_tn(&g);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::MatmulNt(a, b) => {
+                    // y = a bᵀ: ∂a = g·b, ∂b = gᵀ·a.
+                    let ga = g.matmul(&self.nodes[b].value);
+                    let gb = g.matmul_tn(&self.nodes[a].value);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Scale(a, s) => self.accum(a, g.scale(s)),
+                Op::Gelu(a) => {
+                    let x = &self.nodes[a].value;
+                    let ga = Tensor::from_fn(x.rows(), x.cols(), |r, c| {
+                        g.at(r, c) * gelu_grad(x.at(r, c))
+                    });
+                    self.accum(a, ga);
+                }
+                Op::LayerNorm { x, gain, bias } => {
+                    let xhat = self.nodes[i].aux[0].clone();
+                    let inv_std = self.nodes[i].aux[1].clone();
+                    let gv = self.nodes[gain].value.clone();
+                    let d = xhat.cols() as f32;
+                    let mut gx = Tensor::zeros(xhat.rows(), xhat.cols());
+                    for r in 0..xhat.rows() {
+                        let mut sum_dy = 0.0;
+                        let mut sum_dy_xhat = 0.0;
+                        for c in 0..xhat.cols() {
+                            let dy = g.at(r, c) * gv.at(0, c);
+                            sum_dy += dy;
+                            sum_dy_xhat += dy * xhat.at(r, c);
+                        }
+                        let istd = inv_std.at(r, 0);
+                        for c in 0..xhat.cols() {
+                            let dy = g.at(r, c) * gv.at(0, c);
+                            gx.set(
+                                r,
+                                c,
+                                istd * (dy - sum_dy / d - xhat.at(r, c) * sum_dy_xhat / d),
+                            );
+                        }
+                    }
+                    let ggain = Tensor::from_fn(1, xhat.cols(), |_, c| {
+                        (0..xhat.rows()).map(|r| g.at(r, c) * xhat.at(r, c)).sum()
+                    });
+                    let gbias = Tensor::from_fn(1, xhat.cols(), |_, c| {
+                        (0..xhat.rows()).map(|r| g.at(r, c)).sum()
+                    });
+                    self.accum(x, gx);
+                    self.accum(gain, ggain);
+                    self.accum(bias, gbias);
+                }
+                Op::CausalSoftmax(s) => {
+                    let p = &self.nodes[i].aux[0];
+                    let mut gs = Tensor::zeros(p.rows(), p.cols());
+                    for r in 0..p.rows() {
+                        let dot: f32 =
+                            (0..=r).map(|c| g.at(r, c) * p.at(r, c)).sum();
+                        for c in 0..=r {
+                            gs.set(r, c, p.at(r, c) * (g.at(r, c) - dot));
+                        }
+                    }
+                    self.accum(s, gs);
+                }
+                Op::Embedding { table, tokens } => {
+                    let tv = &self.nodes[table].value;
+                    let mut gt = Tensor::zeros(tv.rows(), tv.cols());
+                    for (r, &tok) in tokens.iter().enumerate() {
+                        for c in 0..tv.cols() {
+                            let cur = gt.at(tok, c);
+                            gt.set(tok, c, cur + g.at(r, c));
+                        }
+                    }
+                    self.accum(table, gt);
+                }
+                Op::CrossEntropy { logits, targets } => {
+                    let probs = &self.nodes[i].aux[0];
+                    let scale = g.at(0, 0) / targets.len() as f32;
+                    let mut gl = probs.scale(scale);
+                    for (r, &t) in targets.iter().enumerate() {
+                        let cur = gl.at(r, t);
+                        gl.set(r, t, cur - scale);
+                    }
+                    self.accum(logits, gl);
+                }
+                Op::SliceCols { x, start, len } => {
+                    let xv = &self.nodes[x].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..len {
+                            gx.set(r, start + c, g.at(r, c));
+                        }
+                    }
+                    self.accum(x, gx);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let cols = self.nodes[p].value.cols();
+                        let gp = Tensor::from_fn(g.rows(), cols, |r, c| g.at(r, off + c));
+                        off += cols;
+                        self.accum(p, gp);
+                    }
+                }
+            }
+        }
+    }
+
+    fn accum(&mut self, idx: usize, delta: Tensor) {
+        match &mut self.nodes[idx].grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+}
+
+const LN_EPS: f32 = 1e-5;
+
+fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// Numerical gradient of a scalar function of one leaf.
+    fn numeric_grad(
+        build: &impl Fn(&mut Tape, Var) -> Var,
+        x0: &Tensor,
+        r: usize,
+        c: usize,
+    ) -> f32 {
+        let eps = 1e-3;
+        let eval = |delta: f32| {
+            let mut t = x0.clone();
+            t.set(r, c, t.at(r, c) + delta);
+            let mut tape = Tape::new();
+            let x = tape.leaf(t);
+            let y = build(&mut tape, x);
+            tape.value(y).at(0, 0)
+        };
+        (eval(eps) - eval(-eps)) / (2.0 * eps)
+    }
+
+    fn check_all(build: impl Fn(&mut Tape, Var) -> Var, x0: Tensor, tol: f32) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let y = build(&mut tape, x);
+        tape.backward(y);
+        let analytic = tape.grad(x);
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let num = numeric_grad(&build, &x0, r, c);
+                let ana = analytic.at(r, c);
+                assert!(
+                    (num - ana).abs() < tol,
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_scale_and_add() {
+        let mut rng = Rng::new(1);
+        let x0 = Tensor::randn(2, 3, 1.0, &mut rng);
+        check_all(
+            |tape, x| {
+                let y = tape.scale(x, 3.0);
+                let z = tape.add(y, x);
+                // Reduce to scalar with a fixed linear functional.
+                let w = tape.leaf(Tensor::from_fn(3, 1, |r, _| (r + 1) as f32));
+                let s = tape.matmul(z, w);
+                let ones = tape.leaf(Tensor::from_fn(1, 2, |_, _| 1.0));
+                tape.matmul(ones, s)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let mut rng = Rng::new(2);
+        let x0 = Tensor::randn(2, 3, 1.0, &mut rng);
+        let w0 = Tensor::randn(3, 2, 1.0, &mut rng);
+        check_all(
+            move |tape, x| {
+                let w = tape.leaf(w0.clone());
+                let y = tape.matmul(x, w);
+                let ones_l = tape.leaf(Tensor::from_fn(1, 2, |_, _| 1.0));
+                let ones_r = tape.leaf(Tensor::from_fn(2, 1, |_, _| 1.0));
+                let s = tape.matmul(ones_l, y);
+                tape.matmul(s, ones_r)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_nt() {
+        let mut rng = Rng::new(3);
+        let x0 = Tensor::randn(2, 3, 1.0, &mut rng);
+        let w0 = Tensor::randn(4, 3, 1.0, &mut rng);
+        check_all(
+            move |tape, x| {
+                let w = tape.leaf(w0.clone());
+                let y = tape.matmul_nt(x, w); // 2x4
+                let ones_l = tape.leaf(Tensor::from_fn(1, 2, |_, _| 1.0));
+                let ones_r = tape.leaf(Tensor::from_fn(4, 1, |_, _| 1.0));
+                let s = tape.matmul(ones_l, y);
+                tape.matmul(s, ones_r)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gelu() {
+        let mut rng = Rng::new(4);
+        let x0 = Tensor::randn(2, 2, 1.0, &mut rng);
+        check_all(
+            |tape, x| {
+                let y = tape.gelu(x);
+                let ones_l = tape.leaf(Tensor::from_fn(1, 2, |_, _| 1.0));
+                let ones_r = tape.leaf(Tensor::from_fn(2, 1, |_, _| 1.0));
+                let s = tape.matmul(ones_l, y);
+                tape.matmul(s, ones_r)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let mut rng = Rng::new(5);
+        let x0 = Tensor::randn(3, 4, 1.0, &mut rng);
+        check_all(
+            |tape, x| {
+                let gain = tape.leaf(Tensor::from_fn(1, 4, |_, c| 1.0 + 0.1 * c as f32));
+                let bias = tape.leaf(Tensor::from_fn(1, 4, |_, c| 0.05 * c as f32));
+                let y = tape.layer_norm(x, gain, bias);
+                let ones_l = tape.leaf(Tensor::from_fn(1, 3, |_, _| 1.0));
+                let w = tape.leaf(Tensor::from_fn(4, 1, |r, _| (r + 1) as f32 * 0.3));
+                let s = tape.matmul(ones_l, y);
+                tape.matmul(s, w)
+            },
+            x0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_causal_softmax() {
+        let mut rng = Rng::new(6);
+        let x0 = Tensor::randn(3, 3, 1.0, &mut rng);
+        check_all(
+            |tape, x| {
+                let p = tape.causal_softmax(x);
+                let ones_l = tape.leaf(Tensor::from_fn(1, 3, |_, _| 1.0));
+                let w = tape.leaf(Tensor::from_fn(3, 1, |r, _| (r as f32 - 1.0) * 0.7));
+                let s = tape.matmul(ones_l, p);
+                tape.matmul(s, w)
+            },
+            x0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        let mut rng = Rng::new(7);
+        let x0 = Tensor::randn(3, 5, 1.0, &mut rng);
+        check_all(
+            |tape, x| tape.cross_entropy(x, &[1, 4, 0]),
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_embedding_scatters() {
+        let mut tape = Tape::new();
+        let table = tape.leaf(Tensor::from_fn(4, 2, |r, c| (r * 2 + c) as f32));
+        let e = tape.embedding(table, &[1, 1, 3]);
+        let ones_l = tape.leaf(Tensor::from_fn(1, 3, |_, _| 1.0));
+        let ones_r = tape.leaf(Tensor::from_fn(2, 1, |_, _| 1.0));
+        let s = tape.matmul(ones_l, e);
+        let loss = tape.matmul(s, ones_r);
+        tape.backward(loss);
+        let g = tape.grad(table);
+        // Token 1 used twice, token 3 once, tokens 0/2 never.
+        assert_eq!(g.at(1, 0), 2.0);
+        assert_eq!(g.at(3, 0), 1.0);
+        assert_eq!(g.at(0, 0), 0.0);
+        assert_eq!(g.at(2, 0), 0.0);
+    }
+
+    #[test]
+    fn grad_slice_cols() {
+        let mut rng = Rng::new(8);
+        let x0 = Tensor::randn(3, 6, 1.0, &mut rng);
+        check_all(
+            |tape, x| {
+                let s = tape.slice_cols(x, 2, 3);
+                let ones_l = tape.leaf(Tensor::from_fn(1, 3, |_, _| 1.0));
+                let w = tape.leaf(Tensor::from_fn(3, 1, |r, _| (r + 1) as f32 * 0.4));
+                let t = tape.matmul(ones_l, s);
+                tape.matmul(t, w)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        let mut rng = Rng::new(9);
+        let x0 = Tensor::randn(2, 4, 1.0, &mut rng);
+        check_all(
+            |tape, x| {
+                let a = tape.slice_cols(x, 0, 2);
+                let b = tape.slice_cols(x, 2, 2);
+                let cat = tape.concat_cols(&[b, a]); // swapped halves
+                let ones_l = tape.leaf(Tensor::from_fn(1, 2, |_, _| 1.0));
+                let w = tape.leaf(Tensor::from_fn(4, 1, |r, _| 0.3 * (r as f32 - 1.5)));
+                let t = tape.matmul(ones_l, cat);
+                tape.matmul(t, w)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn concat_inverts_slice() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_fn(2, 6, |r, c| (r * 6 + c) as f32));
+        let a = tape.slice_cols(x, 0, 3);
+        let b = tape.slice_cols(x, 3, 3);
+        let cat = tape.concat_cols(&[a, b]);
+        assert_eq!(tape.value(cat), tape.value(x));
+    }
+
+    #[test]
+    fn causal_softmax_masks_future() {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Tensor::from_fn(3, 3, |_, _| 1.0));
+        let p = tape.causal_softmax(s);
+        let pv = tape.value(p);
+        assert_eq!(pv.at(0, 1), 0.0);
+        assert_eq!(pv.at(0, 2), 0.0);
+        assert_eq!(pv.at(1, 2), 0.0);
+        // Rows sum to one.
+        for r in 0..3 {
+            let sum: f32 = (0..3).map(|c| pv.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_vocab() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::zeros(2, 8));
+        let l = tape.cross_entropy(logits, &[0, 7]);
+        let expected = (8.0f32).ln();
+        assert!((tape.value(l).at(0, 0) - expected).abs() < 1e-5);
+    }
+}

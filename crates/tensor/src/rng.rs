@@ -1,0 +1,144 @@
+//! A tiny deterministic RNG (xoshiro256**), so training runs are exactly
+//! reproducible across platforms — the convergence experiment depends on
+//! bit-stable initialization.
+
+/// Deterministic pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use mobius_tensor::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates an RNG from a seed (split via splitmix64).
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1 = self.uniform().max(1e-7);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "range must be non-empty");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Samples an index from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are empty or sum to zero.
+    pub fn weighted(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be non-empty with positive sum"
+        );
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut r = Rng::new(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn weighted_prefers_heavy() {
+        let mut r = Rng::new(5);
+        let mut counts = [0usize; 2];
+        for _ in 0..1000 {
+            counts[r.weighted(&[1.0, 9.0])] += 1;
+        }
+        assert!(counts[1] > counts[0] * 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Fine-tuning niceties: learning-rate schedules, gradient clipping and
+//! decoupled weight decay — the standard recipe around Adam.
+
+use crate::Tensor;
+
+/// A learning-rate schedule.
+///
+/// # Examples
+///
+/// ```
+/// use mobius_tensor::LrSchedule;
+///
+/// let sched = LrSchedule::warmup_cosine(1e-3, 10, 100);
+/// assert!(sched.lr_at(0) < sched.lr_at(10)); // warming up
+/// assert!(sched.lr_at(10) > sched.lr_at(99)); // decaying
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup to `peak` over `warmup` steps, then cosine decay to
+    /// 10 % of peak at `total` steps.
+    WarmupCosine {
+        /// Peak learning rate.
+        peak: f32,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps of the schedule.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// A constant schedule.
+    pub fn constant(lr: f32) -> Self {
+        LrSchedule::Constant { lr }
+    }
+
+    /// Warmup then cosine decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < warmup < total`.
+    pub fn warmup_cosine(peak: f32, warmup: usize, total: usize) -> Self {
+        assert!(warmup > 0 && warmup < total, "need 0 < warmup < total");
+        LrSchedule::WarmupCosine {
+            peak,
+            warmup,
+            total,
+        }
+    }
+
+    /// The learning rate at step `t` (0-based).
+    pub fn lr_at(&self, t: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupCosine {
+                peak,
+                warmup,
+                total,
+            } => {
+                if t < warmup {
+                    peak * (t + 1) as f32 / warmup as f32
+                } else {
+                    let progress =
+                        (t - warmup) as f32 / (total.saturating_sub(warmup)).max(1) as f32;
+                    let progress = progress.min(1.0);
+                    let floor = 0.1 * peak;
+                    floor
+                        + 0.5
+                            * (peak - floor)
+                            * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+        }
+    }
+}
+
+/// Scales gradients in place so their global L2 norm is at most
+/// `max_norm`; returns the pre-clip norm.
+///
+/// # Panics
+///
+/// Panics unless `max_norm > 0`.
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    total
+}
+
+/// Applies decoupled weight decay (AdamW-style): `p -= lr * wd * p`,
+/// intended to run alongside the Adam update.
+pub fn apply_weight_decay(params: &mut [Tensor], lr: f32, weight_decay: f32) {
+    if weight_decay == 0.0 {
+        return;
+    }
+    let factor = lr * weight_decay;
+    for p in params.iter_mut() {
+        for v in p.data_mut() {
+            *v -= factor * *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::constant(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1000), 0.01);
+    }
+
+    #[test]
+    fn warmup_rises_linearly() {
+        let s = LrSchedule::warmup_cosine(1.0, 4, 100);
+        assert!((s.lr_at(0) - 0.25).abs() < 1e-6);
+        assert!((s.lr_at(1) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = LrSchedule::warmup_cosine(1.0, 10, 100);
+        let end = s.lr_at(99);
+        assert!((end - 0.1).abs() < 0.02, "end lr {end}");
+        // Monotone decrease after warmup.
+        let mut last = s.lr_at(10);
+        for t in 11..100 {
+            let lr = s.lr_at(t);
+            assert!(lr <= last + 1e-6);
+            last = lr;
+        }
+    }
+
+    #[test]
+    fn schedule_saturates_past_total() {
+        let s = LrSchedule::warmup_cosine(1.0, 10, 100);
+        // progress clamps to 1 at t = total and beyond.
+        assert!((s.lr_at(500) - s.lr_at(100)).abs() < 1e-6);
+        assert!((s.lr_at(500) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_preserves_direction() {
+        let mut grads = vec![Tensor::from_rows(&[&[3.0, 4.0]])];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let g = &grads[0];
+        // Scaled to unit norm, same direction.
+        assert!((g.at(0, 0) - 0.6).abs() < 1e-6);
+        assert!((g.at(0, 1) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_noop_below_threshold() {
+        let mut grads = vec![Tensor::from_rows(&[&[0.3, 0.4]])];
+        clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(grads[0].at(0, 0), 0.3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut params = vec![Tensor::from_rows(&[&[2.0, -2.0]])];
+        apply_weight_decay(&mut params, 0.1, 0.5);
+        assert!((params[0].at(0, 0) - 1.9).abs() < 1e-6);
+        assert!((params[0].at(0, 1) + 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_decay_is_noop() {
+        let mut params = vec![Tensor::from_rows(&[&[2.0]])];
+        apply_weight_decay(&mut params, 0.1, 0.0);
+        assert_eq!(params[0].at(0, 0), 2.0);
+    }
+}

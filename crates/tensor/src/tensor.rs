@@ -1,0 +1,334 @@
+//! Dense 2-D `f32` tensors with the handful of kernels a small transformer
+//! needs. Everything is row-major `Vec<f32>`; no unsafe, no SIMD — sizes in
+//! the convergence experiment are tiny.
+
+use crate::Rng;
+
+/// A row-major 2-D tensor of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use mobius_tensor::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Tensor {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Builds from a generator function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Gaussian initialization with standard deviation `std`.
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
+        Tensor::from_fn(rows, cols, |_, _| rng.normal() * std)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(orow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[j * other.cols + k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[k * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(orow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Adds `other` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        Tensor::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_against_hand_result() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(3, 4, 1.0, &mut rng);
+        let b = Tensor::randn(5, 4, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn(4, 3, 1.0, &mut rng);
+        let b = Tensor::randn(4, 5, 1.0, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn(4, 4, 1.0, &mut rng);
+        assert_eq!(a.matmul(&Tensor::eye(4)), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn(3, 7, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Tensor::from_rows(&[&[1.0, -1.0]]);
+        assert_eq!(a.add(&a), a.scale(2.0));
+        assert_eq!(a.hadamard(&a), Tensor::from_rows(&[&[1.0, 1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bad_matmul_rejected() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        a.matmul(&b);
+    }
+}

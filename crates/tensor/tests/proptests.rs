@@ -1,0 +1,110 @@
+//! Property-based tests of the tensor/autograd substrate.
+
+use proptest::prelude::*;
+
+use mobius_tensor::{Rng, Tape, Tensor};
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols).prop_map(move |data| {
+        let mut idx = 0;
+        Tensor::from_fn(rows, cols, |_, _| {
+            let v = data[idx];
+            idx += 1;
+            v
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matmul is associative: (AB)C ≈ A(BC).
+    #[test]
+    fn matmul_associative(
+        a in arb_tensor(3, 4),
+        b in arb_tensor(4, 2),
+        c in arb_tensor(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose swaps matmul order: (AB)ᵀ = Bᵀ Aᵀ.
+    #[test]
+    fn transpose_of_product(a in arb_tensor(3, 4), b in arb_tensor(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Scale distributes over add.
+    #[test]
+    fn scale_distributes(a in arb_tensor(2, 3), b in arb_tensor(2, 3), s in -2.0f32..2.0) {
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Gradient of a linear functional w·x is w, exactly, through the tape.
+    #[test]
+    fn linear_gradient_is_weights(w in arb_tensor(4, 1), x0 in arb_tensor(1, 4)) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0);
+        let wv = tape.leaf(w.clone());
+        let y = tape.matmul(x, wv); // 1x1
+        tape.backward(y);
+        let g = tape.grad(x);
+        for c in 0..4 {
+            prop_assert!((g.at(0, c) - w.at(c, 0)).abs() < 1e-6);
+        }
+    }
+
+    /// Gradient accumulates across fan-out: d/dx of (x + x) is 2.
+    #[test]
+    fn fanout_accumulates(x0 in arb_tensor(1, 3)) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0);
+        let doubled = tape.add(x, x);
+        let ones = tape.leaf(Tensor::from_fn(3, 1, |_, _| 1.0));
+        let y = tape.matmul(doubled, ones);
+        tape.backward(y);
+        let g = tape.grad(x);
+        for c in 0..3 {
+            prop_assert!((g.at(0, c) - 2.0).abs() < 1e-6);
+        }
+    }
+
+    /// Softmax rows of the causal op are stochastic on the unmasked prefix.
+    #[test]
+    fn causal_softmax_rows_stochastic(s in arb_tensor(5, 5)) {
+        let mut tape = Tape::new();
+        let v = tape.leaf(s);
+        let p = tape.causal_softmax(v);
+        let pv = tape.value(p);
+        for r in 0..5 {
+            let sum: f32 = (0..5).map(|c| pv.at(r, c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            for c in (r + 1)..5 {
+                prop_assert_eq!(pv.at(r, c), 0.0);
+            }
+        }
+    }
+
+    /// The deterministic RNG's uniform output stays in range and differs
+    /// across draws.
+    #[test]
+    fn rng_uniform_range(seed in 0u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        let a = rng.uniform();
+        let b = rng.uniform();
+        prop_assert!((0.0..1.0).contains(&a));
+        prop_assert!((0.0..1.0).contains(&b));
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end integration tests spanning the whole workspace: plan →
+//! simulate → report for every system, and cross-crate consistency checks
+//! between the analytic planner and the contention-aware simulator.
+
+use mobius::{FineTuner, RunError, System};
+use mobius_mapping::{Mapping, MappingAlgo};
+use mobius_model::{GptConfig, Model};
+use mobius_pipeline::{
+    evaluate_analytic, simulate_step, stage_costs, PartitionAlgo, PipelineConfig,
+};
+use mobius_profiler::Profiler;
+use mobius_sim::CommKind;
+use mobius_topology::{GpuSpec, Topology};
+
+fn commodity(groups: &[usize]) -> Topology {
+    Topology::commodity(GpuSpec::rtx3090ti(), groups)
+}
+
+#[test]
+fn figure5_oom_matrix() {
+    // GPipe / DS-pipeline train only the 3B model; the heterogeneous-memory
+    // systems train everything (Figure 5).
+    let topo = commodity(&[2, 2]);
+    let can = |cfg: &GptConfig, system| {
+        FineTuner::new(cfg.clone())
+            .topology(topo.clone())
+            .system(system)
+            .mip_budget_ms(120)
+            .run_step()
+            .is_ok()
+    };
+    for cfg in GptConfig::table3() {
+        assert!(can(&cfg, System::Mobius), "{} must train on Mobius", cfg.name);
+        assert!(
+            can(&cfg, System::DeepSpeedHetero),
+            "{} must train on DS-hetero",
+            cfg.name
+        );
+        let fits_resident = cfg.name == "3B";
+        assert_eq!(
+            can(&cfg, System::Gpipe),
+            fits_resident,
+            "GPipe OOM boundary wrong for {}",
+            cfg.name
+        );
+        assert_eq!(
+            can(&cfg, System::DeepSpeedPipeline),
+            fits_resident,
+            "DS-pipeline OOM boundary wrong for {}",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn headline_speedup_band() {
+    // The paper's headline: 3.8-5.1x over DeepSpeed-hetero. Our simulated
+    // substrate lands in 2.2-5.2x across the same grid; assert every cell
+    // shows a clear win and the grid maximum reaches the paper's band.
+    let mut max_speedup: f64 = 0.0;
+    for cfg in [GptConfig::gpt_15b()] {
+        for groups in [vec![4usize], vec![1, 3], vec![2, 2]] {
+            let topo = commodity(&groups);
+            let mobius = FineTuner::new(cfg.clone())
+                .topology(topo.clone())
+                .system(System::Mobius)
+                .mip_budget_ms(150)
+                .run_step()
+                .unwrap();
+            let ds = FineTuner::new(cfg.clone())
+                .topology(topo)
+                .system(System::DeepSpeedHetero)
+                .run_step()
+                .unwrap();
+            let speedup = ds.step_time.as_secs_f64() / mobius.step_time.as_secs_f64();
+            assert!(speedup > 2.0, "{groups:?}: speedup only {speedup:.2}");
+            max_speedup = max_speedup.max(speedup);
+        }
+    }
+    assert!(
+        max_speedup > 3.8,
+        "grid max {max_speedup:.2} should reach the paper's band"
+    );
+}
+
+#[test]
+fn analytic_and_simulator_agree_without_contention() {
+    // On a topology with one GPU per root complex the fluid simulator has
+    // no shared bottleneck, so the analytic planner should predict the
+    // simulated step closely across partition algorithms.
+    let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 1, 1, 1]);
+    let model = Model::from_config(&GptConfig::gpt_8b());
+    let profile = Profiler::new(topo.gpu().clone()).profile(&model, 2);
+    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth());
+    for algo in [PartitionAlgo::MinStage, PartitionAlgo::MaxStage] {
+        let out = mobius_pipeline::partition_model(algo, &profile, 4, &cfg).unwrap();
+        let costs = stage_costs(&profile, &out.partition);
+        let mapping = Mapping::sequential(out.partition.num_stages(), 4);
+        let analytic = evaluate_analytic(&costs, &mapping, &cfg).unwrap().step_time;
+        let sim = simulate_step(&costs, &mapping, &topo, &cfg).unwrap().step_time;
+        let ratio = sim.as_secs_f64() / analytic.as_secs_f64();
+        assert!(
+            (0.85..1.35).contains(&ratio),
+            "{algo:?}: analytic {analytic} vs sim {sim} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn traffic_accounting_analytic_vs_simulated() {
+    // The analytic traffic estimate and the simulator's recorded traffic
+    // must agree on parameter upload bytes (same plan, same semantics).
+    let topo = commodity(&[2, 2]);
+    let model = Model::from_config(&GptConfig::gpt_15b());
+    let profile = Profiler::new(topo.gpu().clone()).profile(&model, 1);
+    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth());
+    let out =
+        mobius_pipeline::partition_model(PartitionAlgo::MinStage, &profile, 4, &cfg).unwrap();
+    let costs = stage_costs(&profile, &out.partition);
+    let mapping = Mapping::cross(&topo, out.partition.num_stages());
+    let analytic = evaluate_analytic(&costs, &mapping, &cfg).unwrap();
+    let sim = simulate_step(&costs, &mapping, &topo, &cfg).unwrap();
+    let sim_uploads = sim.trace.traffic_by_kind()[&CommKind::StageUpload];
+    let rel = (sim_uploads - analytic.traffic.upload_bytes).abs()
+        / analytic.traffic.upload_bytes;
+    assert!(
+        rel < 0.02,
+        "upload bytes disagree: analytic {:.2e} vs simulated {sim_uploads:.2e}",
+        analytic.traffic.upload_bytes
+    );
+}
+
+#[test]
+fn mobius_plan_is_deterministic() {
+    let t = || {
+        FineTuner::new(GptConfig::gpt_8b())
+            .topology(commodity(&[2, 2]))
+            .mip_budget_ms(200)
+            .plan()
+            .unwrap()
+    };
+    let (a, b) = (t(), t());
+    assert_eq!(a.partition, b.partition);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.predicted_step, b.predicted_step);
+}
+
+#[test]
+fn cross_mapping_used_by_default_beats_nothing_on_flat_topology() {
+    // On Topo 4 every mapping has the same contention degree; the plan must
+    // still be valid and run.
+    let report = FineTuner::new(GptConfig::gpt_8b())
+        .topology(commodity(&[4]))
+        .mapping_algo(MappingAlgo::Cross)
+        .mip_budget_ms(120)
+        .run_step()
+        .unwrap();
+    assert!(report.step_time.as_secs_f64() > 0.0);
+}
+
+#[test]
+fn step_report_invariants() {
+    let report = FineTuner::new(GptConfig::gpt_8b())
+        .topology(commodity(&[2, 2]))
+        .mip_budget_ms(120)
+        .run_step()
+        .unwrap();
+    assert!(report.drain_time >= report.step_time);
+    assert!(report.traffic_total() > report.model_size_bytes as f64);
+    assert!(report.price_usd > 0.0);
+    let cdf = report.bandwidth_cdf();
+    assert!(!cdf.is_empty());
+    // No transfer can beat the root-complex peak on a commodity server.
+    assert!(cdf.quantile(1.0).unwrap() <= mobius_topology::ROOT_COMPLEX_GBPS * 1.01);
+    let f = report.non_overlapped_fraction();
+    assert!((0.0..=1.0).contains(&f));
+}
+
+#[test]
+fn more_microbatches_increase_step_but_improve_throughput() {
+    let step = |m: usize| {
+        FineTuner::new(GptConfig::gpt_8b())
+            .topology(commodity(&[2, 2]))
+            .num_microbatches(m)
+            .mip_budget_ms(120)
+            .run_step()
+            .unwrap()
+            .step_time
+            .as_secs_f64()
+    };
+    let t4 = step(4);
+    let t8 = step(8);
+    assert!(t8 > t4, "more microbatches take longer per step");
+    assert!(t8 / 8.0 < t4 / 4.0, "but amortize the pipeline fill");
+}
+
+#[test]
+fn run_error_reports_oom_reason() {
+    let err = FineTuner::new(GptConfig::gpt_8b())
+        .topology(commodity(&[2, 2]))
+        .system(System::Gpipe)
+        .run_step()
+        .unwrap_err();
+    match err {
+        RunError::OutOfMemory(msg) => assert!(msg.contains("GiB")),
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests on the core invariants of the simulation and
+//! optimization substrates.
+
+use proptest::prelude::*;
+
+use mobius_mapping::Mapping;
+use mobius_mip::{chain_partition_dp, SegmentObjective, SegmentSearch};
+use mobius_pipeline::{evaluate_analytic, PipelineConfig, StageCosts};
+use mobius_sim::{Cdf, FlowNetwork, IntervalSet, SimTime};
+use mobius_topology::{GpuSpec, Topology};
+
+const GB: u64 = 1 << 30;
+
+fn stage(fwd_ms: u64, param_mb: u64, act_mb: u64) -> StageCosts {
+    StageCosts {
+        fwd: SimTime::from_millis(fwd_ms),
+        bwd: SimTime::from_millis(3 * fwd_ms),
+        param_bytes: param_mb << 20,
+        grad_bytes: param_mb << 20,
+        in_act_bytes: act_mb << 20,
+        out_act_bytes: act_mb << 20,
+        workspace_bytes: 64 << 20,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min fairness never oversubscribes any link.
+    #[test]
+    fn flow_rates_respect_capacities(
+        caps in prop::collection::vec(1.0f64..20.0, 2..6),
+        flows in prop::collection::vec((0usize..6, 0usize..6, 0.5f64..50.0, 0u8..4), 1..24),
+    ) {
+        let mut net = FlowNetwork::new();
+        let links: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| net.add_link(format!("l{i}"), c * 1e9))
+            .collect();
+        let mut ids = Vec::new();
+        for (a, b, gb, prio) in flows {
+            let la = links[a % links.len()];
+            let lb = links[b % links.len()];
+            let path = if la == lb { vec![la] } else { vec![la, lb] };
+            ids.push((net.start_flow(path.clone(), gb * 1e9, prio, 0), path));
+        }
+        let mut used = vec![0.0f64; links.len()];
+        for (id, path) in &ids {
+            let r = net.rate_of(*id).unwrap();
+            prop_assert!(r >= 0.0);
+            for l in path {
+                used[l.index()] += r;
+            }
+        }
+        for (u, &c) in used.iter().zip(caps.iter()) {
+            prop_assert!(*u <= c * 1e9 * (1.0 + 1e-9), "link oversubscribed: {u} > {c}e9");
+        }
+    }
+
+    /// Flows conserve bytes: what drains equals what was injected.
+    #[test]
+    fn flow_conservation(gbs in prop::collection::vec(0.1f64..8.0, 1..10)) {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", 10e9);
+        let total: f64 = gbs.iter().sum::<f64>() * 1e9;
+        for (i, gb) in gbs.iter().enumerate() {
+            net.start_flow(vec![l], gb * 1e9, 0, i as u64);
+        }
+        let mut drained = 0.0;
+        while let Some((t, id)) = net.next_completion() {
+            net.advance_to(t);
+            drained += net.complete(id).bytes;
+        }
+        prop_assert!((drained - total).abs() < 1.0);
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+
+    /// Interval set measure is monotone under insertion and bounded by span.
+    #[test]
+    fn interval_set_invariants(spans in prop::collection::vec((0u64..1000, 1u64..100), 1..40)) {
+        let mut set = IntervalSet::new();
+        let mut last_measure = SimTime::ZERO;
+        for (start, len) in spans {
+            set.insert(SimTime::from_millis(start), SimTime::from_millis(start + len));
+            let m = set.measure();
+            prop_assert!(m >= last_measure, "measure shrank");
+            last_measure = m;
+        }
+        // Disjointness and ordering.
+        let spans = set.spans();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "overlapping or touching spans survived");
+        }
+        let hull = set.end().unwrap() - set.start().unwrap();
+        prop_assert!(set.measure() <= hull);
+    }
+
+    /// CDFs are monotone with range [0, 1].
+    #[test]
+    fn cdf_monotone(samples in prop::collection::vec((0.1f64..20.0, 0.01f64..5.0), 1..50)) {
+        let samples: Vec<mobius_sim::BandwidthSample> = samples
+            .into_iter()
+            .map(|(gbps, gb)| mobius_sim::BandwidthSample {
+                bytes: gb * 1e9,
+                seconds: gb / gbps,
+                gbps,
+                kind: mobius_sim::CommKind::Other,
+            })
+            .collect();
+        let cdf = Cdf::from_samples(samples.iter());
+        let mut last = 0.0;
+        for bw in [0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
+            let f = cdf.fraction_at(bw);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last);
+            last = f;
+        }
+        prop_assert!((cdf.fraction_at(25.0) - 1.0).abs() < 1e-9);
+    }
+
+    /// The DP chain partition is optimal: no contiguous segmentation found
+    /// by exhaustive search beats it.
+    #[test]
+    fn chain_partition_dp_is_optimal(
+        weights in prop::collection::vec(0.5f64..10.0, 1..9),
+        k in 1usize..5,
+    ) {
+        let (_, dp_cost) = chain_partition_dp(&weights, k);
+        struct Balance<'a>(&'a [f64], usize);
+        impl SegmentObjective for Balance<'_> {
+            fn cost(&self, sizes: &[usize]) -> Option<f64> {
+                if sizes.len() > self.1 {
+                    return None;
+                }
+                let mut i = 0;
+                let mut worst: f64 = 0.0;
+                for &s in sizes {
+                    worst = worst.max(self.0[i..i + s].iter().sum());
+                    i += s;
+                }
+                Some(worst)
+            }
+        }
+        let res = SegmentSearch::new(weights.len())
+            .max_stages(k)
+            .solve(&Balance(&weights, k))
+            .expect("feasible");
+        prop_assert!((res.cost - dp_cost).abs() < 1e-9, "search {} vs dp {}", res.cost, dp_cost);
+    }
+
+    /// Analytic schedules: more bandwidth never hurts; more memory never
+    /// hurts; more microbatches never make the step shorter.
+    #[test]
+    fn analytic_monotonicity(
+        n_stages in 4usize..10,
+        fwd_ms in 5u64..40,
+        param_mb in 64u64..2048,
+    ) {
+        let stages: Vec<StageCosts> = (0..n_stages).map(|_| stage(fwd_ms, param_mb, 4)).collect();
+        let mapping = Mapping::sequential(n_stages, 4);
+        let base = PipelineConfig::mobius(4, 24 * GB, 13.1e9);
+        let t = |cfg: &PipelineConfig| {
+            evaluate_analytic(&stages, &mapping, cfg).unwrap().step_time
+        };
+        let t0 = t(&base);
+
+        let mut faster = base;
+        faster.bandwidth *= 2.0;
+        prop_assert!(t(&faster) <= t0, "doubling bandwidth slowed the step");
+
+        let mut bigger = base;
+        bigger.gpu_mem_bytes *= 2;
+        prop_assert!(t(&bigger) <= t0, "doubling memory slowed the step");
+
+        let mut more_mb = base;
+        more_mb.num_microbatches += 1;
+        prop_assert!(t(&more_mb) >= t0, "an extra microbatch shortened the step");
+    }
+
+    /// Cross mapping never has a higher contention degree than sequential.
+    #[test]
+    fn cross_mapping_contention_never_worse(
+        groups in prop::collection::vec(1usize..4, 1..4),
+        rounds in 1usize..5,
+    ) {
+        let topo = Topology::commodity(GpuSpec::rtx3090ti(), &groups);
+        let n = topo.num_gpus();
+        let stages = n * rounds;
+        let seq = Mapping::sequential(stages, n);
+        let cross = Mapping::cross(&topo, stages);
+        prop_assert!(
+            cross.contention_degree(&topo) <= seq.contention_degree(&topo) + 1e-9
+        );
+    }
+
+    /// Round-permutation mappings always cover every GPU.
+    #[test]
+    fn mappings_cover_all_gpus(n in 1usize..9, rounds in 1usize..4) {
+        let m = Mapping::sequential(n * rounds, n);
+        for g in 0..n {
+            prop_assert!(!m.stages_of(g).is_empty());
+            // Stages of one GPU are strictly increasing.
+            let s = m.stages_of(g);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
