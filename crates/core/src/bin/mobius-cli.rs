@@ -33,7 +33,8 @@ usage:
   mobius-cli plan    --model <3b|8b|15b|51b|llama7b|llama13b> --topo <GROUPS|dc> [--mbs N] [--microbatches M]
   mobius-cli step    --model <..> --topo <..> --system <mobius|gpipe|ds-pipe|ds-hetero|zero-offload>
   mobius-cli compare --model <..> --topo <..>
-topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink";
+topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
+add --strict to re-check every schedule and trace against the paper's constraints";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -45,6 +46,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if let Some(m) = flag(args, "--microbatches") {
         tuner = tuner.num_microbatches(m.parse().map_err(|_| "bad --microbatches")?);
+    }
+    if args.iter().any(|a| a == "--strict" || a == "--strict-validation") {
+        tuner = tuner.strict_validation(true);
     }
     match cmd.as_str() {
         "plan" => plan(tuner, &topo),

@@ -151,6 +151,7 @@ pub struct FineTuner {
     efficiency: Option<f64>,
     prefetch: bool,
     prioritized_loads: bool,
+    strict_validation: bool,
 }
 
 impl FineTuner {
@@ -176,6 +177,7 @@ impl FineTuner {
             efficiency: None,
             prefetch: true,
             prioritized_loads: true,
+            strict_validation: false,
         }
     }
 
@@ -240,6 +242,15 @@ impl FineTuner {
         self
     }
 
+    /// Debug mode: validates every schedule against an independent
+    /// transcription of the paper's constraints, runs the simulated flow
+    /// network with conservation checking, and verifies the ZeRO traffic
+    /// identity. Violations panic. Intended for tests and CI.
+    pub fn strict_validation(mut self, on: bool) -> Self {
+        self.strict_validation = on;
+        self
+    }
+
     /// The effective microbatch size.
     pub fn mbs(&self) -> usize {
         self.microbatch_size
@@ -269,6 +280,7 @@ impl FineTuner {
             memory_mode: mode,
             prefetch: self.prefetch,
             prioritized_loads: self.prioritized_loads,
+            strict_validation: self.strict_validation,
             ..PipelineConfig::mobius(
                 self.microbatches(),
                 self.topo.gpu_mem_bytes(),
@@ -357,7 +369,11 @@ impl FineTuner {
             }
             System::DeepSpeedHetero => {
                 let (_, profile) = self.profile();
-                let rep = simulate_zero_step(&profile, &self.topo, &ZeroConfig::default())?;
+                let zero_cfg = ZeroConfig {
+                    strict_validation: self.strict_validation,
+                    ..ZeroConfig::default()
+                };
+                let rep = simulate_zero_step(&profile, &self.topo, &zero_cfg)?;
                 Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
             }
             System::ZeroOffload => {

@@ -59,6 +59,13 @@ pub struct PipelineConfig {
     /// Whether stage loads carry the §3.3 priorities (earlier-starting
     /// stages first). Disabling it is the priority ablation.
     pub prioritized_loads: bool,
+    /// Debug mode: re-check every produced schedule against an independent
+    /// transcription of the paper's constraints
+    /// ([`ScheduleValidator`](crate::ScheduleValidator)) and run the
+    /// event-driven executor with flow-network invariant checking enabled.
+    /// Violations panic. Meant for tests; adds `O(S·M)` work per
+    /// evaluation.
+    pub strict_validation: bool,
 }
 
 /// Default fixed cost per stage swap: allocator, pinned-buffer staging and
@@ -84,6 +91,7 @@ impl PipelineConfig {
             act_latency: DEFAULT_ACT_LATENCY,
             prefetch: true,
             prioritized_loads: true,
+            strict_validation: false,
         }
     }
 
@@ -92,6 +100,15 @@ impl PipelineConfig {
         PipelineConfig {
             memory_mode: MemoryMode::Resident,
             ..Self::mobius(num_microbatches, gpu_mem_bytes, bandwidth)
+        }
+    }
+
+    /// Returns the configuration with strict validation switched on or off
+    /// (builder style).
+    pub fn with_strict_validation(self, on: bool) -> Self {
+        PipelineConfig {
+            strict_validation: on,
+            ..self
         }
     }
 }
@@ -399,12 +416,20 @@ pub fn evaluate_analytic(
         .max()
         .expect("at least one stage");
 
-    Ok(AnalyticSchedule {
+    let schedule = AnalyticSchedule {
         step_time,
         fwd_start,
         bwd_start,
         traffic,
-    })
+    };
+
+    if cfg.strict_validation {
+        if let Err(v) = crate::ScheduleValidator::new(stages, mapping, cfg).validate(&schedule) {
+            panic!("analytic schedule violates its own constraints: {v}");
+        }
+    }
+
+    Ok(schedule)
 }
 
 #[cfg(test)]
@@ -435,6 +460,7 @@ mod tests {
             act_latency: SimTime::ZERO,
             prefetch: true,
             prioritized_loads: true,
+            strict_validation: false,
         }
     }
 

@@ -295,11 +295,17 @@ pub fn simulate_steps(
         })
         .collect();
 
+    let mut server = ServerNetwork::new(topo);
+    if cfg.strict_validation {
+        // Re-check flow conservation on every rate solve and time advance.
+        server.net_mut().set_strict_validation(true);
+    }
+
     let mut exec = Executor {
         stages,
         mapping,
         cfg,
-        server: ServerNetwork::new(topo),
+        server,
         engine: Engine::new(),
         trace: TraceRecorder::new(),
         gpus,
@@ -658,6 +664,23 @@ impl Executor<'_> {
             }
             l.prefetch_done = false;
         }
+        if self.cfg.strict_validation {
+            // Constraint 5: the prefetch must fit next to whatever the GPU
+            // is currently computing on. Recomputed from the live GPU
+            // state, independently of the `reserved` budget we were handed.
+            let gpu = &self.gpus[g];
+            let computing = if gpu.running.is_some() {
+                gpu.slots[gpu.cur].resident
+            } else {
+                0
+            };
+            assert!(
+                computing + p <= self.cfg.gpu_mem_bytes,
+                "prefetch of {p} B for slot {idx} on GPU {g} oversubscribes memory: \
+                 {computing} B already resident of {} B capacity (constraint 5)",
+                self.cfg.gpu_mem_bytes
+            );
+        }
         let prio = self.load_priority(slot.stage, slot.phase);
         let path = self.server.dram_to_gpu(g);
         self.launch(
@@ -795,6 +818,7 @@ mod tests {
             act_latency: SimTime::ZERO,
             prefetch: true,
             prioritized_loads: true,
+            strict_validation: false,
         }
     }
 

@@ -51,6 +51,7 @@ mod one_f_one_b;
 mod gpipe;
 mod partitioner;
 mod stage;
+mod validate;
 
 pub use analytic::{
     evaluate_analytic, AnalyticSchedule, MemoryMode, PipelineConfig, ScheduleError,
@@ -65,3 +66,6 @@ pub use partitioner::{
     PartitionOutcome,
 };
 pub use stage::{stage_costs, Partition, StageCosts};
+pub use validate::{
+    check_differential, ScheduleValidator, ScheduleViolation, DIFFERENTIAL_RATIO_BAND,
+};

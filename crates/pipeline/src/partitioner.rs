@@ -339,6 +339,7 @@ mod tests {
             act_latency: SimTime::from_micros(1_500),
             prefetch: true,
             prioritized_loads: true,
+            strict_validation: false,
         }
     }
 

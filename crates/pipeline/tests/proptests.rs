@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use mobius_mapping::Mapping;
 use mobius_pipeline::{
-    evaluate_analytic, simulate_step, MemoryMode, PipelineConfig, StageCosts,
+    check_differential, evaluate_analytic, simulate_step, MemoryMode, PipelineConfig, StageCosts,
 };
 use mobius_sim::SimTime;
 use mobius_topology::{GpuSpec, Topology};
@@ -25,7 +25,7 @@ fn arb_stage() -> impl Strategy<Value = StageCosts> {
 }
 
 fn cfg(m: usize) -> PipelineConfig {
-    PipelineConfig::mobius(m, 24 * GB, 13.1e9)
+    PipelineConfig::mobius(m, 24 * GB, 13.1e9).with_strict_validation(true)
 }
 
 proptest! {
@@ -84,10 +84,9 @@ proptest! {
         let c = cfg(m);
         let analytic = evaluate_analytic(&stages, &mapping, &c).unwrap().step_time;
         let sim = simulate_step(&stages, &mapping, &topo, &c).unwrap().step_time;
-        let ratio = sim.as_secs_f64() / analytic.as_secs_f64();
         prop_assert!(
-            (0.7..1.6).contains(&ratio),
-            "analytic {analytic} vs sim {sim} (ratio {ratio:.2})"
+            check_differential(analytic, sim).is_ok(),
+            "analytic {analytic} vs sim {sim} outside the documented band"
         );
     }
 

@@ -76,6 +76,42 @@ impl IntervalSet {
         self.spans.last().map(|&(_, e)| e)
     }
 
+    /// Checks the structural invariant: spans sorted by start, each
+    /// non-empty, pairwise disjoint and non-touching. Returns the first
+    /// offending span on failure.
+    pub fn validate_invariants(&self) -> Result<(), crate::InvariantViolation> {
+        use crate::InvariantViolation as V;
+        let mut prev_end: Option<SimTime> = None;
+        for (i, &(s, e)) in self.spans.iter().enumerate() {
+            if s >= e {
+                return Err(V::MalformedIntervals {
+                    index: i,
+                    span: (s, e),
+                    reason: "span is empty or inverted (start >= end)",
+                });
+            }
+            if let Some(pe) = prev_end {
+                if s <= pe {
+                    return Err(V::MalformedIntervals {
+                        index: i,
+                        span: (s, e),
+                        reason: "span overlaps, touches, or precedes its predecessor",
+                    });
+                }
+            }
+            prev_end = Some(e);
+        }
+        Ok(())
+    }
+
+    /// Builds a set from spans taken verbatim — no sorting, merging, or
+    /// filtering. Test-only injection hook for exercising
+    /// [`IntervalSet::validate_invariants`]; never use in simulation code.
+    #[doc(hidden)]
+    pub fn from_raw_spans(spans: Vec<(SimTime, SimTime)>) -> Self {
+        IntervalSet { spans }
+    }
+
     /// Set union.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
         let mut out = self.clone();

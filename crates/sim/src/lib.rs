@@ -41,9 +41,11 @@ mod flow;
 mod intervals;
 mod time;
 mod trace;
+mod validate;
 
 pub use engine::Engine;
 pub use flow::{FlowId, FlowNetwork, FlowRecord, LinkId, Priority};
 pub use intervals::IntervalSet;
 pub use time::SimTime;
 pub use trace::{BandwidthSample, Cdf, CommKind, TraceRecorder};
+pub use validate::InvariantViolation;

@@ -91,14 +91,25 @@ impl Cdf {
         }
         v.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut cum = 0.0;
-        let points = v
-            .into_iter()
-            .map(|(bw, b)| {
-                cum += b;
-                // Clamp away float summation fuzz.
-                (bw, (cum / total).min(1.0))
-            })
-            .collect();
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (bw, b) in v {
+            cum += b;
+            // Clamp away float summation fuzz.
+            let f = (cum / total).min(1.0);
+            match points.last_mut() {
+                // Collapse duplicate bandwidths into one point carrying the
+                // total cumulative fraction, so fraction_at/quantile see a
+                // strictly increasing bandwidth axis.
+                Some(last) if last.0 == bw => last.1 = f,
+                _ => points.push((bw, f)),
+            }
+        }
+        // The full byte mass has moved at ≤ max bandwidth by definition;
+        // pin the top point so callers can rely on fraction_at(max) == 1.0
+        // regardless of summation order.
+        if let Some(last) = points.last_mut() {
+            last.1 = 1.0;
+        }
         Cdf { points }
     }
 

@@ -1,0 +1,213 @@
+//! Invariant validation for the simulator's core data structures.
+//!
+//! Strict mode turns silent modelling errors into loud ones: when enabled
+//! via [`FlowNetwork::set_strict_validation`], the flow network re-checks
+//! flow conservation after every rate solve, and panics with a
+//! [`InvariantViolation`] describing exactly which guarantee broke.
+//! [`IntervalSet::validate_invariants`] does the same for the overlap
+//! accounting structure.
+//!
+//! The checks are written as an independent re-statement of the documented
+//! invariants, *not* by reusing the allocator's own arithmetic — otherwise a
+//! bug in the water-filling solver would validate itself.
+//!
+//! [`FlowNetwork::set_strict_validation`]: crate::FlowNetwork::set_strict_validation
+//! [`IntervalSet::validate_invariants`]: crate::IntervalSet::validate_invariants
+
+use std::fmt;
+
+use crate::SimTime;
+
+/// A broken invariant detected by one of the strict-mode validators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// The rates of the flows crossing a link sum to more than its capacity.
+    LinkOversubscribed {
+        /// Label of the oversubscribed link.
+        link: String,
+        /// Capacity in bytes/second.
+        capacity: f64,
+        /// Total allocated rate in bytes/second.
+        allocated: f64,
+    },
+    /// A flow was assigned a negative rate.
+    NegativeRate {
+        /// Caller-supplied user token of the flow.
+        user: u64,
+        /// The offending rate in bytes/second.
+        rate: f64,
+    },
+    /// A flow received zero rate although no link on its path is saturated
+    /// by flows of equal or higher priority — i.e. it was starved without a
+    /// preemption to justify it.
+    StarvedFlow {
+        /// Caller-supplied user token of the flow.
+        user: u64,
+        /// Priority class of the starved flow.
+        priority: u8,
+    },
+    /// An [`IntervalSet`](crate::IntervalSet) no longer holds its structural
+    /// invariant (sorted, disjoint, non-touching, non-empty spans).
+    MalformedIntervals {
+        /// Index of the first offending span.
+        index: usize,
+        /// The offending span.
+        span: (SimTime, SimTime),
+        /// What exactly is wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::LinkOversubscribed {
+                link,
+                capacity,
+                allocated,
+            } => write!(
+                f,
+                "link '{link}' oversubscribed: {:.3} GB/s allocated on {:.3} GB/s capacity",
+                allocated / 1e9,
+                capacity / 1e9
+            ),
+            InvariantViolation::NegativeRate { user, rate } => {
+                write!(f, "flow (user {user}) has negative rate {rate} B/s")
+            }
+            InvariantViolation::StarvedFlow { user, priority } => write!(
+                f,
+                "flow (user {user}, priority {priority}) starved with no saturated link of \
+                 equal-or-higher priority on its path"
+            ),
+            InvariantViolation::MalformedIntervals {
+                index,
+                span,
+                reason,
+            } => write!(
+                f,
+                "interval set span #{index} [{:?}, {:?}) malformed: {reason}",
+                span.0, span.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowNetwork, IntervalSet};
+
+    fn gbps(x: f64) -> f64 {
+        x * 1e9
+    }
+
+    #[test]
+    fn healthy_network_validates() {
+        let mut net = FlowNetwork::new();
+        let lane = net.add_link("lane", gbps(16.0));
+        let up = net.add_link("uplink", gbps(13.0));
+        net.start_flow(vec![lane, up], gbps(10.0), 2, 0);
+        net.start_flow(vec![up], gbps(10.0), 0, 1);
+        assert_eq!(net.validate_rates(), Ok(()));
+    }
+
+    #[test]
+    fn preempted_flow_is_not_flagged_as_starved() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(1.0));
+        net.start_flow(vec![l], gbps(100.0), 9, 0);
+        let lo = net.start_flow(vec![l], gbps(1.0), 0, 1);
+        assert_eq!(net.rate_of(lo).unwrap(), 0.0);
+        assert_eq!(net.validate_rates(), Ok(()));
+    }
+
+    #[test]
+    fn injected_oversubscription_is_caught() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(4.0));
+        let f = net.start_flow(vec![l], gbps(1.0), 0, 7);
+        net.debug_set_rate(f, gbps(9.0));
+        match net.validate_rates() {
+            Err(InvariantViolation::LinkOversubscribed { link, .. }) => assert_eq!(link, "l"),
+            other => panic!("expected LinkOversubscribed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_negative_rate_is_caught() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(4.0));
+        let f = net.start_flow(vec![l], gbps(1.0), 0, 7);
+        net.debug_set_rate(f, -1.0);
+        assert!(matches!(
+            net.validate_rates(),
+            Err(InvariantViolation::NegativeRate { user: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn injected_starvation_is_caught() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let f = net.start_flow(vec![l], gbps(1.0), 3, 11);
+        // Alone on an idle link, yet at rate zero: nothing preempts it.
+        net.debug_set_rate(f, 0.0);
+        assert!(matches!(
+            net.validate_rates(),
+            Err(InvariantViolation::StarvedFlow {
+                user: 11,
+                priority: 3
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn strict_mode_panics_on_advance() {
+        let mut net = FlowNetwork::new();
+        net.set_strict_validation(true);
+        let l = net.add_link("l", gbps(4.0));
+        let f = net.start_flow(vec![l], gbps(8.0), 0, 0);
+        net.debug_set_rate(f, gbps(9.0));
+        // Advancing time in strict mode re-checks conservation first, so the
+        // injected oversubscription is seen before any bytes drain at it.
+        net.advance_to(SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn malformed_interval_sets_are_caught() {
+        let t = SimTime::from_secs;
+        let ok = IntervalSet::from_raw_spans(vec![(t(0), t(1)), (t(2), t(3))]);
+        assert_eq!(ok.validate_invariants(), Ok(()));
+
+        let empty_span = IntervalSet::from_raw_spans(vec![(t(1), t(1))]);
+        assert!(matches!(
+            empty_span.validate_invariants(),
+            Err(InvariantViolation::MalformedIntervals { index: 0, .. })
+        ));
+
+        let touching = IntervalSet::from_raw_spans(vec![(t(0), t(1)), (t(1), t(2))]);
+        assert!(matches!(
+            touching.validate_invariants(),
+            Err(InvariantViolation::MalformedIntervals { index: 1, .. })
+        ));
+
+        let unsorted = IntervalSet::from_raw_spans(vec![(t(5), t(6)), (t(0), t(1))]);
+        assert!(matches!(
+            unsorted.validate_invariants(),
+            Err(InvariantViolation::MalformedIntervals { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn insert_preserves_invariants_under_strict_check() {
+        let t = SimTime::from_millis;
+        let mut s = IntervalSet::new();
+        for (a, b) in [(0, 10), (20, 30), (5, 25), (40, 40), (50, 45), (29, 41)] {
+            s.insert(t(a), t(b));
+            assert_eq!(s.validate_invariants(), Ok(()));
+        }
+    }
+}

@@ -29,8 +29,12 @@
 #![warn(missing_docs)]
 
 mod offload;
+mod validate;
 
 pub use offload::{check_offload_memory, simulate_zero_offload_step};
+pub use validate::{
+    expected_step_traffic, verify_traffic_identity, ExpectedZeroTraffic, ZeroTrafficViolation,
+};
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -54,11 +58,18 @@ pub struct ZeroConfig {
     /// Whether the next layer's parameters prefetch during the current
     /// layer's compute (DeepSpeed default: on).
     pub prefetch: bool,
+    /// Debug mode: after the step, check the recorded traffic against the
+    /// closed-form Eq. 2 prediction ([`verify_traffic_identity`]) and run
+    /// the flow network with invariant checking. Violations panic.
+    pub strict_validation: bool,
 }
 
 impl Default for ZeroConfig {
     fn default() -> Self {
-        ZeroConfig { prefetch: true }
+        ZeroConfig {
+            prefetch: true,
+            strict_validation: false,
+        }
     }
 }
 
@@ -213,9 +224,14 @@ pub fn simulate_zero_step(
         })
         .collect();
 
+    let mut server = ServerNetwork::new(topo);
+    if cfg.strict_validation {
+        server.net_mut().set_strict_validation(true);
+    }
+
     let mut exec = ZeroExec {
         layers: profile.layers(),
-        server: ServerNetwork::new(topo),
+        server,
         engine: Engine::new(),
         trace: TraceRecorder::new(),
         gpus,
@@ -227,6 +243,11 @@ pub fn simulate_zero_step(
         last_compute_done: SimTime::ZERO,
     };
     exec.run();
+    if cfg.strict_validation {
+        if let Err(v) = verify_traffic_identity(&exec.trace, profile, topo) {
+            panic!("ZeRO traffic identity violated: {v}");
+        }
+    }
     Ok(ZeroReport {
         step_time: exec.engine.now(),
         trace: exec.trace,
@@ -547,12 +568,19 @@ mod tests {
     #[test]
     fn prefetch_overlaps_and_speeds_up() {
         let p = profile(&GptConfig::gpt_3b(), 1);
-        let with = simulate_zero_step(&p, &topo22(), &ZeroConfig { prefetch: true })
+        let with = simulate_zero_step(&p, &topo22(), &ZeroConfig::default())
             .unwrap()
             .step_time;
-        let without = simulate_zero_step(&p, &topo22(), &ZeroConfig { prefetch: false })
-            .unwrap()
-            .step_time;
+        let without = simulate_zero_step(
+            &p,
+            &topo22(),
+            &ZeroConfig {
+                prefetch: false,
+                ..ZeroConfig::default()
+            },
+        )
+        .unwrap()
+        .step_time;
         assert!(with < without, "prefetch {with} vs no prefetch {without}");
     }
 
@@ -623,6 +651,68 @@ mod tests {
         let m4 = median(&[4]);
         // Four-way sharing roughly halves the two-way share.
         assert!(m4 < m22 * 0.7, "median {m4} vs {m22}");
+    }
+
+    #[test]
+    fn strict_mode_verifies_traffic_identity() {
+        let strict = ZeroConfig {
+            strict_validation: true,
+            ..ZeroConfig::default()
+        };
+        // PCIe commodity server, with and without prefetch (prefetch
+        // reorders transfers but must not change a single byte).
+        let p = profile(&GptConfig::gpt_3b(), 1);
+        simulate_zero_step(&p, &topo22(), &strict).unwrap();
+        simulate_zero_step(
+            &p,
+            &topo22(),
+            &ZeroConfig {
+                prefetch: false,
+                strict_validation: true,
+            },
+        )
+        .unwrap();
+        // NVLink data-center server exercises the ring path.
+        let dc_gpu = GpuSpec::v100();
+        let dc_profile =
+            Profiler::new(dc_gpu.clone()).profile(&Model::from_config(&GptConfig::gpt_3b()), 1);
+        let dc = Topology::data_center(dc_gpu, 4);
+        simulate_zero_step(&dc_profile, &dc, &strict).unwrap();
+    }
+
+    #[test]
+    fn expected_traffic_matches_eq2_scale() {
+        // Eq. 2: parameter-path traffic ≈ 1.5·N· (params + grads). With the
+        // gather counted per phase and the 1/N shard overhead, the PCIe
+        // ratio against N·P lands a little above 3.
+        let p = profile(&GptConfig::gpt_3b(), 1);
+        let topo = topo22();
+        let expected = expected_step_traffic(&p, &topo);
+        let ratio = expected.eq2_ratio(&p, topo.num_gpus());
+        assert!(
+            (3.0..8.0).contains(&ratio),
+            "Eq. 2 ratio {ratio:.2} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn doctored_trace_fails_traffic_identity() {
+        let p = profile(&GptConfig::gpt_3b(), 1);
+        let topo = topo22();
+        let mut rep = simulate_zero_step(&p, &topo, &ZeroConfig::default()).unwrap();
+        assert!(verify_traffic_identity(&rep.trace, &p, &topo).is_ok());
+        // Inject one spurious gather the data path never performs.
+        let bogus = mobius_sim::FlowRecord {
+            bytes: 123456789.0,
+            started: SimTime::ZERO,
+            finished: SimTime::from_millis(1),
+            path: vec![],
+            user: 0,
+        };
+        rep.trace.record_flow(&bogus, CommKind::ParamGather, &[0]);
+        let err = verify_traffic_identity(&rep.trace, &p, &topo).unwrap_err();
+        assert_eq!(err.kind, CommKind::ParamGather);
+        assert!(err.measured > err.expected);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, and lints.
+#
+# This is the check CI runs and the one every PR must keep green. Strict
+# validation (flow conservation, schedule constraints, ZeRO traffic
+# identity) is exercised by the workspace integration tests, so a plain
+# `cargo test` already runs the invariant layer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> verify OK"

@@ -1,0 +1,146 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated; the test fails.
+    Fail(String),
+    /// The input is rejected (precondition unmet); the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected input with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "property failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` generated inputs of `strategy` through `property`.
+///
+/// The per-case seed depends only on the test name and case index, so any
+/// failure reproduces identically on the next run; the failing input is
+/// printed in full (there is no shrinking). Panics inside the property are
+/// reported with the offending input, then propagated.
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut property: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let seed = base ^ (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:#?}");
+        match catch_unwind(AssertUnwindSafe(|| property(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                "[{name}] property failed at case {case}/{total} (seed {seed:#018x}): \
+                 {msg}\ninput: {rendered}",
+                total = config.cases,
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "[{name}] property panicked at case {case}/{total} (seed {seed:#018x})\n\
+                     input: {rendered}",
+                    total = config.cases,
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        run_cases(
+            &ProptestConfig::with_cases(25),
+            "passing",
+            0u64..100,
+            |v| {
+                count += 1;
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            },
+        );
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_input() {
+        run_cases(&ProptestConfig::with_cases(50), "failing", 0u64..100, |v| {
+            if v < 99 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("hit the top"))
+            }
+        });
+    }
+
+    #[test]
+    fn rejected_cases_are_skipped() {
+        run_cases(&ProptestConfig::with_cases(10), "reject", 0u64..100, |_| {
+            Err(TestCaseError::reject("precondition"))
+        });
+    }
+}

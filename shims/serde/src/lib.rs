@@ -1,0 +1,37 @@
+//! Minimal stand-in for `serde`: the `Serialize`/`Deserialize` trait names
+//! plus the derive-macro re-exports.
+//!
+//! The workspace marks types with `#[derive(Serialize, Deserialize)]` but
+//! never invokes a serializer, so blanket implementations are sufficient
+//! and the derives (from the in-tree `serde_derive` shim) expand to
+//! nothing. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(all(test, feature = "derive"))]
+mod tests {
+    #[test]
+    fn derives_expand_on_plain_types() {
+        #[derive(crate::Serialize, crate::Deserialize, Debug, PartialEq)]
+        struct Point {
+            x: u32,
+            y: u32,
+        }
+        fn is_serialize<T: crate::Serialize>() {}
+        is_serialize::<Point>();
+        assert_eq!(Point { x: 1, y: 2 }, Point { x: 1, y: 2 });
+    }
+}

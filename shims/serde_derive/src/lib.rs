@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace only uses serde derives to mark types as serializable —
+//! no serializer is ever invoked — so empty derives satisfy every use
+//! site. The shim `serde` crate provides blanket trait impls, making the
+//! derive purely cosmetic. See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Accepts the derive input (and any `#[serde(...)]` attributes) and
+/// expands to nothing; the blanket impls in the `serde` shim provide the
+/// trait implementations.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// See [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

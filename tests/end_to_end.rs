@@ -6,7 +6,8 @@ use mobius::{FineTuner, RunError, System};
 use mobius_mapping::{Mapping, MappingAlgo};
 use mobius_model::{GptConfig, Model};
 use mobius_pipeline::{
-    evaluate_analytic, simulate_step, stage_costs, PartitionAlgo, PipelineConfig,
+    check_differential, evaluate_analytic, simulate_step, stage_costs, PartitionAlgo,
+    PipelineConfig,
 };
 use mobius_profiler::Profiler;
 use mobius_sim::CommKind;
@@ -26,6 +27,7 @@ fn figure5_oom_matrix() {
             .topology(topo.clone())
             .system(system)
             .mip_budget_ms(120)
+            .strict_validation(true)
             .run_step()
             .is_ok()
     };
@@ -65,11 +67,13 @@ fn headline_speedup_band() {
                 .topology(topo.clone())
                 .system(System::Mobius)
                 .mip_budget_ms(150)
+                .strict_validation(true)
                 .run_step()
                 .unwrap();
             let ds = FineTuner::new(cfg.clone())
                 .topology(topo)
                 .system(System::DeepSpeedHetero)
+                .strict_validation(true)
                 .run_step()
                 .unwrap();
             let speedup = ds.step_time.as_secs_f64() / mobius.step_time.as_secs_f64();
@@ -91,7 +95,8 @@ fn analytic_and_simulator_agree_without_contention() {
     let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 1, 1, 1]);
     let model = Model::from_config(&GptConfig::gpt_8b());
     let profile = Profiler::new(topo.gpu().clone()).profile(&model, 2);
-    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth());
+    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth())
+        .with_strict_validation(true);
     for algo in [PartitionAlgo::MinStage, PartitionAlgo::MaxStage] {
         let out = mobius_pipeline::partition_model(algo, &profile, 4, &cfg).unwrap();
         let costs = stage_costs(&profile, &out.partition);
@@ -103,6 +108,7 @@ fn analytic_and_simulator_agree_without_contention() {
             (0.85..1.35).contains(&ratio),
             "{algo:?}: analytic {analytic} vs sim {sim} (ratio {ratio:.2})"
         );
+        check_differential(analytic, sim).unwrap();
     }
 }
 
@@ -113,7 +119,8 @@ fn traffic_accounting_analytic_vs_simulated() {
     let topo = commodity(&[2, 2]);
     let model = Model::from_config(&GptConfig::gpt_15b());
     let profile = Profiler::new(topo.gpu().clone()).profile(&model, 1);
-    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth());
+    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth())
+        .with_strict_validation(true);
     let out =
         mobius_pipeline::partition_model(PartitionAlgo::MinStage, &profile, 4, &cfg).unwrap();
     let costs = stage_costs(&profile, &out.partition);
@@ -136,6 +143,7 @@ fn mobius_plan_is_deterministic() {
         FineTuner::new(GptConfig::gpt_8b())
             .topology(commodity(&[2, 2]))
             .mip_budget_ms(200)
+            .strict_validation(true)
             .plan()
             .unwrap()
     };
@@ -153,6 +161,7 @@ fn cross_mapping_used_by_default_beats_nothing_on_flat_topology() {
         .topology(commodity(&[4]))
         .mapping_algo(MappingAlgo::Cross)
         .mip_budget_ms(120)
+        .strict_validation(true)
         .run_step()
         .unwrap();
     assert!(report.step_time.as_secs_f64() > 0.0);
@@ -163,6 +172,7 @@ fn step_report_invariants() {
     let report = FineTuner::new(GptConfig::gpt_8b())
         .topology(commodity(&[2, 2]))
         .mip_budget_ms(120)
+        .strict_validation(true)
         .run_step()
         .unwrap();
     assert!(report.drain_time >= report.step_time);
@@ -183,6 +193,7 @@ fn more_microbatches_increase_step_but_improve_throughput() {
             .topology(commodity(&[2, 2]))
             .num_microbatches(m)
             .mip_budget_ms(120)
+            .strict_validation(true)
             .run_step()
             .unwrap()
             .step_time
@@ -199,6 +210,7 @@ fn run_error_reports_oom_reason() {
     let err = FineTuner::new(GptConfig::gpt_8b())
         .topology(commodity(&[2, 2]))
         .system(System::Gpipe)
+        .strict_validation(true)
         .run_step()
         .unwrap_err();
     match err {

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use mobius_mapping::Mapping;
 use mobius_mip::{chain_partition_dp, SegmentObjective, SegmentSearch};
-use mobius_pipeline::{evaluate_analytic, PipelineConfig, StageCosts};
+use mobius_pipeline::{check_differential, evaluate_analytic, simulate_step, PipelineConfig, StageCosts};
 use mobius_sim::{Cdf, FlowNetwork, IntervalSet, SimTime};
 use mobius_topology::{GpuSpec, Topology};
 
@@ -33,6 +33,7 @@ proptest! {
         flows in prop::collection::vec((0usize..6, 0usize..6, 0.5f64..50.0, 0u8..4), 1..24),
     ) {
         let mut net = FlowNetwork::new();
+        net.set_strict_validation(true);
         let links: Vec<_> = caps
             .iter()
             .enumerate()
@@ -62,6 +63,7 @@ proptest! {
     #[test]
     fn flow_conservation(gbs in prop::collection::vec(0.1f64..8.0, 1..10)) {
         let mut net = FlowNetwork::new();
+        net.set_strict_validation(true);
         let l = net.add_link("l", 10e9);
         let total: f64 = gbs.iter().sum::<f64>() * 1e9;
         for (i, gb) in gbs.iter().enumerate() {
@@ -159,7 +161,7 @@ proptest! {
     ) {
         let stages: Vec<StageCosts> = (0..n_stages).map(|_| stage(fwd_ms, param_mb, 4)).collect();
         let mapping = Mapping::sequential(n_stages, 4);
-        let base = PipelineConfig::mobius(4, 24 * GB, 13.1e9);
+        let base = PipelineConfig::mobius(4, 24 * GB, 13.1e9).with_strict_validation(true);
         let t = |cfg: &PipelineConfig| {
             evaluate_analytic(&stages, &mapping, cfg).unwrap().step_time
         };
@@ -194,6 +196,37 @@ proptest! {
         );
     }
 
+    /// The analytic evaluator and the event-driven executor agree within
+    /// the documented tolerance band ([`mobius_pipeline::DIFFERENTIAL_RATIO_BAND`])
+    /// on random uncontended pipelines — one GPU per root complex, so the
+    /// closed form's no-contention assumption holds. Strict validation is
+    /// on for both sides: the analytic schedule is re-checked against the
+    /// paper's constraints and the executor's flow network asserts flow
+    /// conservation at every event.
+    #[test]
+    fn analytic_and_executor_agree_on_uncontended_pipelines(
+        rounds in 1usize..3,
+        fwd_ms in 5u64..60,
+        param_mb in 64u64..1024,
+        act_mb in 1u64..32,
+        m in 1usize..5,
+    ) {
+        let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 1, 1, 1]);
+        let n_stages = 4 * rounds;
+        let stages: Vec<StageCosts> =
+            (0..n_stages).map(|_| stage(fwd_ms, param_mb, act_mb)).collect();
+        let mapping = Mapping::sequential(n_stages, 4);
+        let cfg = PipelineConfig::mobius(m, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth())
+            .with_strict_validation(true);
+        let analytic = evaluate_analytic(&stages, &mapping, &cfg).unwrap().step_time;
+        let sim = simulate_step(&stages, &mapping, &topo, &cfg).unwrap().step_time;
+        prop_assert!(
+            check_differential(analytic, sim).is_ok(),
+            "analytic {analytic} vs sim {sim} (ratio {:.2}) outside the documented band",
+            sim.as_secs_f64() / analytic.as_secs_f64()
+        );
+    }
+
     /// Round-permutation mappings always cover every GPU.
     #[test]
     fn mappings_cover_all_gpus(n in 1usize..9, rounds in 1usize..4) {
@@ -205,4 +238,51 @@ proptest! {
             prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
         }
     }
+}
+
+/// Deterministic replay of the committed `cdf_monotone` proptest
+/// regression (`tests/properties.proptest-regressions`): seven samples
+/// share one bandwidth (the generator's range minimum, 0.1 GB/s). The
+/// CDF must collapse duplicate-bandwidth points, stay monotone in
+/// [0, 1], and pin its final cumulative point to exactly 1.0 so
+/// `fraction_at` / `quantile` are well-defined.
+#[test]
+fn cdf_regression_seed_duplicate_bandwidths() {
+    let seed: [(f64, f64); 9] = [
+        (0.1, 0.01),
+        (0.1, 4.570766401693746),
+        (0.1, 4.2954065160047605),
+        (0.1, 4.886714651271711),
+        (0.1, 4.306976868800549),
+        (0.1, 0.01),
+        (4.639503578251093, 4.339163575624873),
+        (0.1, 1.7333217044022236),
+        (0.1, 0.01),
+    ];
+    let samples: Vec<mobius_sim::BandwidthSample> = seed
+        .iter()
+        .map(|&(gbps, gb)| mobius_sim::BandwidthSample {
+            bytes: gb * 1e9,
+            seconds: gb / gbps,
+            gbps,
+            kind: mobius_sim::CommKind::Other,
+        })
+        .collect();
+    let cdf = Cdf::from_samples(samples.iter());
+
+    // One point per distinct bandwidth.
+    assert_eq!(cdf.points().len(), 2, "duplicate bandwidths must collapse");
+    // Monotone, in range, and exactly 1.0 at the top.
+    let mut last = 0.0;
+    for bw in [0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
+        let f = cdf.fraction_at(bw);
+        assert!((0.0..=1.0).contains(&f), "fraction_at({bw}) = {f}");
+        assert!(f >= last);
+        last = f;
+    }
+    assert_eq!(cdf.fraction_at(25.0), 1.0, "final point must be pinned to 1.0");
+    // Quantiles are well-defined across the whole probability range.
+    assert_eq!(cdf.quantile(1.0), Some(4.639503578251093));
+    assert_eq!(cdf.quantile(0.5), Some(0.1));
+    assert_eq!(cdf.quantile(0.0), Some(0.1));
 }
