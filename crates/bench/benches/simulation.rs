@@ -15,7 +15,9 @@ fn bench_flow_network(c: &mut Criterion) {
     c.bench_function("flow_network_32flows_rate_solve", |b| {
         b.iter(|| {
             let mut net = FlowNetwork::new();
-            let links: Vec<_> = (0..8).map(|i| net.add_link(format!("l{i}"), 13.1e9)).collect();
+            let links: Vec<_> = (0..8)
+                .map(|i| net.add_link(format!("l{i}"), 13.1e9))
+                .collect();
             for i in 0..32u64 {
                 let path = vec![links[(i % 8) as usize], links[((i + 1) % 8) as usize]];
                 net.start_flow(path, 1e9, (i % 3) as u8, i);
@@ -55,9 +57,7 @@ fn bench_multi_step(c: &mut Criterion) {
     let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
     let cfg = PipelineConfig::mobius(4, 24 * (1u64 << 30), 13.1e9);
     c.bench_function("simulate_3_steps_8stages", |b| {
-        b.iter(|| {
-            std::hint::black_box(simulate_steps(&stages, &mapping, &topo, &cfg, 3).unwrap())
-        })
+        b.iter(|| std::hint::black_box(simulate_steps(&stages, &mapping, &topo, &cfg, 3).unwrap()))
     });
     c.bench_function("evaluate_1f1b_8x16", |b| {
         b.iter(|| std::hint::black_box(evaluate_1f1b(&stages, 16, SimTime::ZERO).unwrap()))

@@ -46,12 +46,7 @@ fn bench_partition_search(c: &mut Criterion) {
     let cfg = PipelineConfig::mobius(4, 24 * (1u64 << 30), 13.1e9);
     c.bench_function("mip_partition_8b_100ms_budget", |b| {
         b.iter(|| {
-            std::hint::black_box(mip_partition(
-                &profile,
-                4,
-                &cfg,
-                Duration::from_millis(100),
-            ))
+            std::hint::black_box(mip_partition(&profile, 4, &cfg, Duration::from_millis(100)))
         })
     });
 }

@@ -6,8 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mobius_tensor::{
-    train_loss_curve, Corpus, Rng, ScheduleOrder, Tape, Tensor, TinyGpt, TinyGptConfig,
-    TrainConfig,
+    train_loss_curve, Corpus, Rng, ScheduleOrder, Tape, Tensor, TinyGpt, TinyGptConfig, TrainConfig,
 };
 
 fn bench_matmul(c: &mut Criterion) {
@@ -46,9 +45,7 @@ fn bench_training(c: &mut Criterion) {
         seed: 1,
     };
     c.bench_function("fig13_train_3steps", |b| {
-        b.iter(|| {
-            std::hint::black_box(train_loss_curve(&corpus, &cfg, ScheduleOrder::Mobius))
-        })
+        b.iter(|| std::hint::black_box(train_loss_curve(&corpus, &cfg, ScheduleOrder::Mobius)))
     });
 }
 

@@ -1,7 +1,11 @@
 //! Regenerates the design-choice ablation table. Pass `--quick` for a
 //! reduced run.
-
+//! Pass `--json <path>` to also write the result as a JSON report.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    mobius_bench::experiments::ablations::run(quick).print();
+    let experiment = mobius_bench::experiments::ablations::run(quick);
+    if let Err(msg) = mobius_bench::emit(&[experiment]) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
 }

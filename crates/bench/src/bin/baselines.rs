@@ -1,7 +1,11 @@
 //! Regenerates the five-system memory-capability ladder. Pass `--quick`
 //! for a reduced run.
-
+//! Pass `--json <path>` to also write the result as a JSON report.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    mobius_bench::experiments::baselines::run(quick).print();
+    let experiment = mobius_bench::experiments::baselines::run(quick);
+    if let Err(msg) = mobius_bench::emit(&[experiment]) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
 }

@@ -1,8 +1,10 @@
 //! Regenerates fig16 of the paper. Pass `--quick` for a reduced run.
-
+//! Pass `--json <path>` to also write the result as a JSON report.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let _ = quick;
     let experiment = mobius_bench::experiments::fig16::run(quick);
-    experiment.print();
+    if let Err(msg) = mobius_bench::emit(&[experiment]) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
 }

@@ -1,5 +1,6 @@
 //! Regenerates every table and figure and writes `experiments_output.md`
 //! next to the workspace root (the data behind EXPERIMENTS.md).
+//! Pass `--json <path>` to also write the full set as a JSON report.
 
 use std::fmt::Write as _;
 
@@ -8,8 +9,11 @@ fn main() {
     let experiments = mobius_bench::experiments::run_all(quick);
     let mut md = String::from("# Mobius reproduction — regenerated results\n\n");
     for e in &experiments {
-        e.print();
         let _ = writeln!(md, "{}", e.render_markdown());
+    }
+    if let Err(msg) = mobius_bench::emit(&experiments) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
     }
     let path = "experiments_output.md";
     std::fs::write(path, md).expect("write experiments_output.md");

@@ -1,6 +1,10 @@
 //! Regenerates the first-step vs steady-state extension table.
-
+//! Pass `--json <path>` to also write the result as a JSON report.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    mobius_bench::experiments::steady_state::run(quick).print();
+    let experiment = mobius_bench::experiments::steady_state::run(quick);
+    if let Err(msg) = mobius_bench::emit(&[experiment]) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
 }

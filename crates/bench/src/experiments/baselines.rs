@@ -47,7 +47,11 @@ pub fn run(quick: bool) -> Experiment {
         "Mobius",
     ]);
     let models = if quick {
-        vec![GptConfig::gpt_3b(), GptConfig::gpt_8b(), GptConfig::gpt_15b()]
+        vec![
+            GptConfig::gpt_3b(),
+            GptConfig::gpt_8b(),
+            GptConfig::gpt_15b(),
+        ]
     } else {
         GptConfig::table3()
     };

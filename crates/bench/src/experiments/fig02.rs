@@ -15,10 +15,7 @@ pub fn run(_quick: bool) -> Experiment {
         "most data moves at <= 50% of the root complex's maximum bandwidth \
          (13.1 GB/s) because of all-to-all contention",
     )
-    .columns([
-        "percentile",
-        "bandwidth (GB/s)",
-    ]);
+    .columns(["percentile", "bandwidth (GB/s)"]);
     let report = FineTuner::new(GptConfig::gpt_15b())
         .topology(commodity(&[2, 2]))
         .system(System::DeepSpeedHetero)

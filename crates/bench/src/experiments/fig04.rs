@@ -3,9 +3,7 @@
 //! as actual schedules from the analytic evaluator.
 
 use mobius_mapping::Mapping;
-use mobius_pipeline::{
-    evaluate_analytic, render_gantt, PipelineConfig, StageCosts,
-};
+use mobius_pipeline::{evaluate_analytic, render_gantt, PipelineConfig, StageCosts};
 use mobius_sim::SimTime;
 use mobius_topology::{GpuSpec, Topology};
 

@@ -15,12 +15,7 @@ const SYSTEMS: [System; 4] = [
 ];
 
 /// Step time in seconds, or `None` for OOM.
-pub fn step_secs(
-    cfg: &GptConfig,
-    topo: &Topology,
-    system: System,
-    quick: bool,
-) -> Option<f64> {
+pub fn step_secs(cfg: &GptConfig, topo: &Topology, system: System, quick: bool) -> Option<f64> {
     let run = FineTuner::new(cfg.clone())
         .topology(topo.clone())
         .system(system)
@@ -43,10 +38,20 @@ pub fn run(quick: bool) -> Experiment {
          (Topo 4); Mobius stays nearly stable across topologies",
     )
     .columns([
-        "model", "topology", "GPipe", "DS-pipeline", "DS-hetero", "Mobius", "speedup",
+        "model",
+        "topology",
+        "GPipe",
+        "DS-pipeline",
+        "DS-hetero",
+        "Mobius",
+        "speedup",
     ]);
     let models = if quick {
-        vec![GptConfig::gpt_3b(), GptConfig::gpt_8b(), GptConfig::gpt_15b()]
+        vec![
+            GptConfig::gpt_3b(),
+            GptConfig::gpt_8b(),
+            GptConfig::gpt_15b(),
+        ]
     } else {
         GptConfig::table3()
     };
@@ -61,11 +66,7 @@ pub fn run(quick: bool) -> Experiment {
                 _ => "-".into(),
             };
             let mut row = vec![cfg.name.clone(), topo.name()];
-            row.extend(
-                cells
-                    .iter()
-                    .map(|c| c.map_or("OOM".to_string(), fmt_secs)),
-            );
+            row.extend(cells.iter().map(|c| c.map_or("OOM".to_string(), fmt_secs)));
             row.push(speedup);
             e.push_row(row);
         }
@@ -84,9 +85,7 @@ mod tests {
         let topo = commodity(&[2, 2]);
         assert!(step_secs(&GptConfig::gpt_3b(), &topo, System::Gpipe, true).is_some());
         assert!(step_secs(&GptConfig::gpt_8b(), &topo, System::Gpipe, true).is_none());
-        assert!(
-            step_secs(&GptConfig::gpt_8b(), &topo, System::DeepSpeedPipeline, true).is_none()
-        );
+        assert!(step_secs(&GptConfig::gpt_8b(), &topo, System::DeepSpeedPipeline, true).is_none());
         assert!(step_secs(&GptConfig::gpt_8b(), &topo, System::DeepSpeedHetero, true).is_some());
     }
 

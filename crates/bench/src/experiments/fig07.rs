@@ -39,7 +39,11 @@ pub fn run(quick: bool) -> Experiment {
     let models = if quick {
         vec![GptConfig::gpt_15b()]
     } else {
-        vec![GptConfig::gpt_8b(), GptConfig::gpt_15b(), GptConfig::gpt_51b()]
+        vec![
+            GptConfig::gpt_8b(),
+            GptConfig::gpt_15b(),
+            GptConfig::gpt_51b(),
+        ]
     };
     for cfg in &models {
         for topo in paper_topologies() {

@@ -24,7 +24,11 @@ pub fn run(quick: bool) -> Experiment {
     let models = if quick {
         vec![GptConfig::gpt_8b(), GptConfig::gpt_15b()]
     } else {
-        vec![GptConfig::gpt_8b(), GptConfig::gpt_15b(), GptConfig::gpt_51b()]
+        vec![
+            GptConfig::gpt_8b(),
+            GptConfig::gpt_15b(),
+            GptConfig::gpt_51b(),
+        ]
     };
     for cfg in &models {
         let tuner = FineTuner::new(cfg.clone())
@@ -33,9 +37,7 @@ pub fn run(quick: bool) -> Experiment {
         let plan = tuner.plan().expect("planning succeeds");
         // Naive profiling time for the comparison column.
         let model = mobius_model::Model::from_config(cfg);
-        let profiler = mobius_profiler::Profiler::new(
-            mobius_topology::GpuSpec::rtx3090ti(),
-        );
+        let profiler = mobius_profiler::Profiler::new(mobius_topology::GpuSpec::rtx3090ti());
         let naive = profiler.profiling_time(&model, cfg.default_microbatch, false);
         e.push_row([
             cfg.name.clone(),

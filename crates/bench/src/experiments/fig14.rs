@@ -38,7 +38,11 @@ pub fn run(quick: bool) -> Experiment {
          are unevenly loaded",
     )
     .columns(["GPUs", "step time", "samples/s", "vs linear from N=2"]);
-    let counts: Vec<usize> = if quick { vec![2, 4, 8] } else { (2..=8).collect() };
+    let counts: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        (2..=8).collect()
+    };
     let base = throughput(2, quick) / 2.0;
     for &n in &counts {
         let t = throughput(n, quick);

@@ -47,7 +47,12 @@ pub fn run(quick: bool) -> Experiment {
         "the contention gap between DeepSpeed and Mobius narrows on NVLink \
          hardware, but Mobius's host traffic still sees less contention",
     )
-    .columns(["system", "median GB/s", "bytes <= half peak", "bytes > 12 GB/s"]);
+    .columns([
+        "system",
+        "median GB/s",
+        "bytes <= half peak",
+        "bytes > 12 GB/s",
+    ]);
     for system in [System::DeepSpeedHetero, System::Mobius] {
         let cdf = host_cdf(system, quick);
         let cells = cdf_cells(&cdf);

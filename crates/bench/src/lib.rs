@@ -16,7 +16,7 @@
 pub mod experiments;
 mod report;
 
-pub use report::{fmt_gb, fmt_secs, fmt_x, Experiment};
+pub use report::{emit, fmt_gb, fmt_secs, fmt_x, render_json_report, Experiment};
 
 use mobius_sim::Cdf;
 use mobius_topology::{GpuSpec, Topology, ROOT_COMPLEX_GBPS};
@@ -49,7 +49,9 @@ pub fn mip_ms(quick: bool) -> u64 {
 /// half the root-complex peak, and fraction above 12 GB/s (near peak).
 pub fn cdf_cells(cdf: &Cdf) -> [String; 3] {
     let half = ROOT_COMPLEX_GBPS / 2.0;
-    let median = cdf.median().map_or_else(|| "-".into(), |m| format!("{m:.1}"));
+    let median = cdf
+        .median()
+        .map_or_else(|| "-".into(), |m| format!("{m:.1}"));
     [
         median,
         format!("{:.0}%", cdf.fraction_at(half) * 100.0),

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use mobius_obs::json;
+
 /// One regenerated table or figure.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -93,7 +95,11 @@ impl Experiment {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -107,10 +113,67 @@ impl Experiment {
         out
     }
 
+    /// Renders the experiment as a JSON object. Written through the
+    /// [`mobius_obs::json`] helpers — the workspace `serde` is a marker
+    /// shim, so all JSON in the tree is emitted by hand.
+    pub fn render_json(&self) -> String {
+        json::object([
+            ("id", json::string(self.id)),
+            ("title", json::string(self.title)),
+            ("paper_claim", json::string(self.paper_claim)),
+            (
+                "columns",
+                json::array(self.columns.iter().map(|c| json::string(c))),
+            ),
+            (
+                "rows",
+                json::array(
+                    self.rows
+                        .iter()
+                        .map(|r| json::array(r.iter().map(|c| json::string(c)))),
+                ),
+            ),
+            (
+                "notes",
+                json::array(self.notes.iter().map(|n| json::string(n))),
+            ),
+        ])
+    }
+
     /// Prints the text rendering to stdout.
     pub fn print(&self) {
         println!("{}", self.render_text());
     }
+}
+
+/// Renders a set of experiments as one JSON array document.
+pub fn render_json_report<'a, I: IntoIterator<Item = &'a Experiment>>(experiments: I) -> String {
+    let mut s = json::array(experiments.into_iter().map(Experiment::render_json));
+    s.push('\n');
+    s
+}
+
+/// Prints each experiment and honours the shared `--json <path>` flag:
+/// when present on the command line, the combined JSON report is also
+/// written to `path`. Every bench binary routes its output through here.
+///
+/// # Errors
+///
+/// Returns the I/O error message when the JSON file cannot be written.
+pub fn emit(experiments: &[Experiment]) -> Result<(), String> {
+    for e in experiments {
+        e.print();
+    }
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .ok_or_else(|| "flag `--json` expects a path".to_string())?;
+        std::fs::write(path, render_json_report(experiments.iter()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote JSON report to {path}");
+    }
+    Ok(())
 }
 
 /// Formats seconds with adaptive precision.
@@ -159,6 +222,20 @@ mod tests {
         let m = sample().render_markdown();
         assert!(m.contains("| a | b |"));
         assert!(m.contains("|---|---|"));
+    }
+
+    #[test]
+    fn json_is_wellformed() {
+        let j = sample().render_json();
+        assert_eq!(
+            j,
+            "{\"id\":\"figXX\",\"title\":\"demo\",\"paper_claim\":\"a claim\",\
+             \"columns\":[\"a\",\"b\"],\"rows\":[[\"1\",\"2\"]],\
+             \"notes\":[\"observation\"]}"
+        );
+        let report = render_json_report([&sample(), &sample()]);
+        assert!(report.starts_with('['));
+        assert!(report.ends_with("]\n"));
     }
 
     #[test]

@@ -3,14 +3,19 @@
 //! ```text
 //! mobius-cli plan    --model 15b --topo 2+2 [--mbs N] [--microbatches M]
 //! mobius-cli step    --model 15b --topo 2+2 --system mobius|gpipe|ds-pipe|ds-hetero|zero-offload
+//! mobius-cli report  --model 15b --topo 2+2 --system mobius
 //! mobius-cli compare --model 15b --topo 2+2
 //! ```
 //!
 //! Topologies: `4`, `1+3`, `2+2`, `4+4`, … (commodity 3090-Ti groups) or
-//! `dc` (4×V100 NVLink).
+//! `dc` (4×V100 NVLink). `step --trace-out FILE` writes a Chrome
+//! trace-event timeline loadable in Perfetto or `chrome://tracing`;
+//! `--metrics-out FILE` writes the metrics registry as JSON; `report`
+//! prints the metrics in human-readable form.
 
 use std::process::ExitCode;
 
+use mobius::obs::Obs;
 use mobius::{FineTuner, RunError, System};
 use mobius_model::{GptConfig, Model};
 use mobius_pipeline::{evaluate_analytic, render_gantt, MemoryMode, PipelineConfig};
@@ -32,12 +37,53 @@ const USAGE: &str = "\
 usage:
   mobius-cli plan    --model <3b|8b|15b|51b|llama7b|llama13b> --topo <GROUPS|dc> [--mbs N] [--microbatches M]
   mobius-cli step    --model <..> --topo <..> --system <mobius|gpipe|ds-pipe|ds-hetero|zero-offload>
+                     [--trace-out FILE] [--metrics-out FILE] [--timeline]
+  mobius-cli report  --model <..> --topo <..> --system <..>
   mobius-cli compare --model <..> --topo <..>
 topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
-add --strict to re-check every schedule and trace against the paper's constraints";
+add --strict to re-check every schedule and trace against the paper's constraints
+--trace-out writes a Chrome trace-event JSON (open in Perfetto or chrome://tracing)";
+
+/// Flags that consume the following token as their value.
+const VALUE_FLAGS: &[&str] = &[
+    "--model",
+    "--topo",
+    "--mbs",
+    "--microbatches",
+    "--system",
+    "--trace-out",
+    "--metrics-out",
+];
+
+/// Flags that stand alone.
+const BOOL_FLAGS: &[&str] = &["--strict", "--strict-validation", "--timeline"];
+
+/// Rejects anything that is not a known flag. A silently ignored typo like
+/// `--sttrict` would otherwise run without validation while the user
+/// believes it is on.
+fn validate_flags(args: &[String]) -> Result<(), String> {
+    let mut i = 1; // args[0] is the subcommand
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => return Err(format!("flag `{a}` expects a value")),
+            }
+        } else if BOOL_FLAGS.contains(&a) {
+            i += 1;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    Ok(())
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
+    validate_flags(args)?;
     let model = parse_model(&flag(args, "--model").unwrap_or_else(|| "15b".into()))?;
     let topo = parse_topo(&flag(args, "--topo").unwrap_or_else(|| "2+2".into()))?;
     let mut tuner = FineTuner::from_model(model).topology(topo.clone());
@@ -47,7 +93,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(m) = flag(args, "--microbatches") {
         tuner = tuner.num_microbatches(m.parse().map_err(|_| "bad --microbatches")?);
     }
-    if args.iter().any(|a| a == "--strict" || a == "--strict-validation") {
+    if args
+        .iter()
+        .any(|a| a == "--strict" || a == "--strict-validation")
+    {
         tuner = tuner.strict_validation(true);
     }
     match cmd.as_str() {
@@ -55,7 +104,16 @@ fn run(args: &[String]) -> Result<(), String> {
         "step" => {
             let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
             let timeline = args.iter().any(|a| a == "--timeline");
-            step(tuner.system(system), timeline)
+            step(
+                tuner.system(system),
+                timeline,
+                flag(args, "--trace-out").as_deref(),
+                flag(args, "--metrics-out").as_deref(),
+            )
+        }
+        "report" => {
+            let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
+            report(tuner.system(system))
         }
         "compare" => compare(tuner),
         other => Err(format!("unknown command `{other}`")),
@@ -139,7 +197,18 @@ fn plan(tuner: FineTuner, topo: &Topology) -> Result<(), String> {
     Ok(())
 }
 
-fn step(tuner: FineTuner, timeline: bool) -> Result<(), String> {
+fn step(
+    tuner: FineTuner,
+    timeline: bool,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    let obs = Obs::new();
+    let tuner = if trace_out.is_some() || metrics_out.is_some() {
+        tuner.observe(obs.clone())
+    } else {
+        tuner
+    };
     match tuner.run_step() {
         Ok(r) => {
             println!(
@@ -157,6 +226,37 @@ fn step(tuner: FineTuner, timeline: bool) -> Result<(), String> {
                 println!("\nmeasured timeline ('#' compute, '=' communication):");
                 print!("{}", r.trace.render_timeline(r.drain_time, 100));
             }
+            if let Some(path) = trace_out {
+                std::fs::write(path, obs.chrome_trace_json())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+            }
+            if let Some(path) = metrics_out {
+                std::fs::write(path, obs.metrics_json())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote metrics to {path}");
+            }
+            Ok(())
+        }
+        Err(RunError::OutOfMemory(e)) => {
+            println!("OOM: {e}");
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn report(tuner: FineTuner) -> Result<(), String> {
+    let obs = Obs::new();
+    match tuner.observe(obs.clone()).run_step() {
+        Ok(r) => {
+            println!(
+                "{}: step {}  drain {}",
+                r.system.label(),
+                r.step_time,
+                r.drain_time
+            );
+            print!("{}", obs.metrics_text());
             Ok(())
         }
         Err(RunError::OutOfMemory(e)) => {
@@ -168,7 +268,10 @@ fn step(tuner: FineTuner, timeline: bool) -> Result<(), String> {
 }
 
 fn compare(tuner: FineTuner) -> Result<(), String> {
-    println!("{:<20} {:>10} {:>12} {:>10}", "system", "step", "traffic", "$/step");
+    println!(
+        "{:<20} {:>10} {:>12} {:>10}",
+        "system", "step", "traffic", "$/step"
+    );
     for system in [
         System::Gpipe,
         System::DeepSpeedPipeline,
@@ -235,5 +338,53 @@ mod tests {
     fn unknown_command_errors() {
         let args: Vec<String> = vec!["bogus".into()];
         assert!(run(&args).is_err());
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        // A typo like `--sttrict` must error out, not silently run
+        // without validation.
+        let err = run(&argv(&["step", "--sttrict"])).unwrap_err();
+        assert!(err.contains("--sttrict"), "{err}");
+        let err = run(&argv(&["plan", "--modle", "8b"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn stray_positional_arguments_are_rejected() {
+        let err = run(&argv(&["step", "extra"])).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn value_flags_require_a_value() {
+        let err = run(&argv(&["step", "--model"])).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
+        // A following flag does not count as the value.
+        let err = run(&argv(&["step", "--model", "--strict"])).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
+    }
+
+    #[test]
+    fn known_flag_combinations_validate() {
+        assert!(validate_flags(&argv(&[
+            "step",
+            "--model",
+            "8b",
+            "--topo",
+            "2+2",
+            "--system",
+            "mobius",
+            "--strict",
+            "--trace-out",
+            "/tmp/t.json",
+            "--metrics-out",
+            "/tmp/m.json",
+        ]))
+        .is_ok());
     }
 }

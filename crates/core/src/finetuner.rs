@@ -5,15 +5,16 @@ use std::time::{Duration, Instant};
 
 use mobius_mapping::{Mapping, MappingAlgo};
 use mobius_model::{GptConfig, Model};
+use mobius_obs::{AttrValue, Lane, Obs};
 use mobius_pipeline::{
-    partition_model, plan_gpipe, simulate_step, simulate_steps, stage_costs, MemoryMode,
-    MultiStepReport, Partition, PartitionAlgo, PipelineConfig, StageCosts,
+    partition_model, plan_gpipe, simulate_step_traced, simulate_steps_traced, stage_costs,
+    MemoryMode, MultiStepReport, Partition, PartitionAlgo, PipelineConfig, StageCosts,
 };
 use mobius_profiler::{ModelProfile, Profiler};
 use mobius_sim::{Cdf, SimTime, TraceRecorder};
 use mobius_topology::Topology;
 use mobius_zero::{
-    simulate_zero_offload_step, simulate_zero_step, ZeroConfig, DS_PIPELINE_OVERHEAD,
+    simulate_zero_offload_step_traced, simulate_zero_step_traced, ZeroConfig, DS_PIPELINE_OVERHEAD,
 };
 use serde::{Deserialize, Serialize};
 
@@ -152,6 +153,7 @@ pub struct FineTuner {
     prefetch: bool,
     prioritized_loads: bool,
     strict_validation: bool,
+    obs: Option<Obs>,
 }
 
 impl FineTuner {
@@ -178,6 +180,7 @@ impl FineTuner {
             prefetch: true,
             prioritized_loads: true,
             strict_validation: false,
+            obs: None,
         }
     }
 
@@ -251,6 +254,16 @@ impl FineTuner {
         self
     }
 
+    /// Attaches an [`Obs`] observer: planning decisions, compute cells,
+    /// transfers and strict-validation violations are recorded as spans,
+    /// marks and metrics. Observation is passive — every simulated result
+    /// is bit-identical with or without it. The handle shares state with
+    /// its clones, so export from the caller's copy after the run.
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The effective microbatch size.
     pub fn mbs(&self) -> usize {
         self.microbatch_size
@@ -301,9 +314,13 @@ impl FineTuner {
 
         let solve_started = Instant::now();
         let outcome = match self.partition_algo {
-            PartitionAlgo::Mip => {
-                mobius_pipeline::mip_partition(&profile, n, &cfg, self.mip_budget)?
-            }
+            PartitionAlgo::Mip => mobius_pipeline::mip_partition_traced(
+                &profile,
+                n,
+                &cfg,
+                self.mip_budget,
+                self.obs.as_ref(),
+            )?,
             other => partition_model(other, &profile, n, &cfg)?,
         };
         let mip_solve_secs = solve_started.elapsed().as_secs_f64();
@@ -318,6 +335,22 @@ impl FineTuner {
 
         let stages = stage_costs(&profile, &outcome.partition);
         let contention_degree = mapping.contention_degree(&self.topo);
+        if let Some(obs) = &self.obs {
+            obs.mark(
+                Lane::Run,
+                "plan",
+                "mapping.decision",
+                0,
+                vec![
+                    ("algo", AttrValue::Str(format!("{:?}", self.mapping_algo))),
+                    (
+                        "stages",
+                        AttrValue::U64(outcome.partition.num_stages() as u64),
+                    ),
+                    ("contention_degree", AttrValue::F64(contention_degree)),
+                ],
+            );
+        }
         let profiling = self.profiler().profiling_time(model, self.mbs(), true);
 
         Ok(Plan {
@@ -346,7 +379,13 @@ impl FineTuner {
             System::Mobius => {
                 let plan = self.plan()?;
                 let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
-                let sim = simulate_step(&plan.stages, &plan.mapping, &self.topo, &cfg)?;
+                let sim = simulate_step_traced(
+                    &plan.stages,
+                    &plan.mapping,
+                    &self.topo,
+                    &cfg,
+                    self.obs.as_ref(),
+                )?;
                 Ok(self.report(sim.step_time, sim.drain_time, sim.trace, model_size))
             }
             System::Gpipe | System::DeepSpeedPipeline => {
@@ -357,7 +396,8 @@ impl FineTuner {
                 let stages = stage_costs(&profile, &plan.partition);
                 let mapping =
                     Mapping::sequential(plan.partition.num_stages(), self.topo.num_gpus());
-                let sim = simulate_step(&stages, &mapping, &self.topo, &cfg)?;
+                let sim =
+                    simulate_step_traced(&stages, &mapping, &self.topo, &cfg, self.obs.as_ref())?;
                 let factor = if self.system == System::DeepSpeedPipeline {
                     DS_PIPELINE_OVERHEAD
                 } else {
@@ -373,12 +413,14 @@ impl FineTuner {
                     strict_validation: self.strict_validation,
                     ..ZeroConfig::default()
                 };
-                let rep = simulate_zero_step(&profile, &self.topo, &zero_cfg)?;
+                let rep =
+                    simulate_zero_step_traced(&profile, &self.topo, &zero_cfg, self.obs.as_ref())?;
                 Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
             }
             System::ZeroOffload => {
                 let (_, profile) = self.profile();
-                let rep = simulate_zero_offload_step(&profile, &self.topo)?;
+                let rep =
+                    simulate_zero_offload_step_traced(&profile, &self.topo, self.obs.as_ref())?;
                 Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
             }
         }
@@ -412,7 +454,14 @@ impl FineTuner {
             System::Mobius => {
                 let plan = self.plan()?;
                 let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
-                Ok(simulate_steps(&plan.stages, &plan.mapping, &self.topo, &cfg, k)?)
+                Ok(simulate_steps_traced(
+                    &plan.stages,
+                    &plan.mapping,
+                    &self.topo,
+                    &cfg,
+                    k,
+                    self.obs.as_ref(),
+                )?)
             }
             System::Gpipe | System::DeepSpeedPipeline => {
                 let (_, profile) = self.profile();
@@ -421,7 +470,14 @@ impl FineTuner {
                 let stages = stage_costs(&profile, &plan.partition);
                 let mapping =
                     Mapping::sequential(plan.partition.num_stages(), self.topo.num_gpus());
-                Ok(simulate_steps(&stages, &mapping, &self.topo, &cfg, k)?)
+                Ok(simulate_steps_traced(
+                    &stages,
+                    &mapping,
+                    &self.topo,
+                    &cfg,
+                    k,
+                    self.obs.as_ref(),
+                )?)
             }
             other => Err(RunError::Unsupported(format!(
                 "{} steps are independent; run_step() per step instead",
@@ -533,7 +589,9 @@ mod tests {
 
     #[test]
     fn price_cheaper_on_commodity() {
-        let c = tuner(GptConfig::gpt_8b(), System::Mobius).run_step().unwrap();
+        let c = tuner(GptConfig::gpt_8b(), System::Mobius)
+            .run_step()
+            .unwrap();
         assert!(c.price_usd > 0.0);
     }
 
@@ -558,8 +616,7 @@ mod tests {
         // The paper's §3.1 rationale for DRAM-only offload.
         let cfg = GptConfig::gpt_15b();
         let dram = tuner(cfg.clone(), System::Mobius).run_step().unwrap();
-        let ssd_topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2])
-            .with_ssd_offload(3.0);
+        let ssd_topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]).with_ssd_offload(3.0);
         let ssd = FineTuner::new(cfg)
             .topology(ssd_topo)
             .system(System::Mobius)
@@ -576,8 +633,7 @@ mod tests {
 
     #[test]
     fn llama_models_train_on_mobius() {
-        for (model, should_fit_offload) in
-            [(Model::llama2_7b(), true), (Model::llama2_13b(), true)]
+        for (model, should_fit_offload) in [(Model::llama2_7b(), true), (Model::llama2_13b(), true)]
         {
             let name = model.config().name.clone();
             let rep = FineTuner::from_model(model.clone())

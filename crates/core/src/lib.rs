@@ -53,6 +53,7 @@ pub use finetuner::{FineTuner, Overheads, Plan, StepReport, System};
 pub use mobius_mapping as mapping;
 pub use mobius_mip as mip;
 pub use mobius_model as model;
+pub use mobius_obs as obs;
 pub use mobius_pipeline as pipeline;
 pub use mobius_profiler as profiler;
 pub use mobius_sim as sim;

@@ -81,19 +81,13 @@ impl Mapping {
                 "a GPU was left without any stage"
             );
         }
-        Mapping {
-            gpu_of,
-            num_gpus,
-        }
+        Mapping { gpu_of, num_gpus }
     }
 
     /// The sequential mapping of GPipe-style systems: `stage j → j mod N`.
     pub fn sequential(num_stages: usize, num_gpus: usize) -> Self {
         assert!(num_stages > 0 && num_gpus > 0);
-        Self::from_round_permutation(
-            &(0..num_gpus).collect::<Vec<_>>(),
-            num_stages,
-        )
+        Self::from_round_permutation(&(0..num_gpus).collect::<Vec<_>>(), num_stages)
     }
 
     /// A round-based mapping: within every round of `N` consecutive stages,
@@ -322,10 +316,7 @@ mod tests {
         let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[4]);
         let seq = Mapping::sequential(8, 4);
         let cross = Mapping::cross(&topo, 8);
-        assert_eq!(
-            cross.contention_degree(&topo),
-            seq.contention_degree(&topo)
-        );
+        assert_eq!(cross.contention_degree(&topo), seq.contention_degree(&topo));
     }
 
     #[test]

@@ -90,6 +90,26 @@ impl Mip {
 
     /// Solves by depth-first branch and bound, returning search statistics.
     pub fn solve_with_stats(&self) -> (MipOutcome, MipStats) {
+        self.solve_with_stats_observed(None)
+    }
+
+    /// [`Mip::solve_with_stats`] with an optional observer: each new
+    /// incumbent is marked on the solver lane (stamped with the node count,
+    /// since branch-and-bound has no clock of its own) and the
+    /// `mip.bb.nodes` / `mip.bb.pruned` counters are filled in at the end.
+    pub fn solve_with_stats_observed(
+        &self,
+        obs: Option<&mobius_obs::Obs>,
+    ) -> (MipOutcome, MipStats) {
+        let (out, stats) = self.branch_and_bound(obs);
+        if let Some(obs) = obs {
+            obs.counter_add("mip.bb.nodes", stats.nodes as f64);
+            obs.counter_add("mip.bb.pruned", stats.pruned as f64);
+        }
+        (out, stats)
+    }
+
+    fn branch_and_bound(&self, obs: Option<&mobius_obs::Obs>) -> (MipOutcome, MipStats) {
         let mut stats = MipStats::default();
         let maximize = matches!(self.sense(), Sense::Maximize);
         let mut incumbent: Option<LpSolution> = None;
@@ -150,6 +170,18 @@ impl Mip {
                     for &v in &self.integer_vars {
                         s.x[v] = s.x[v].round();
                     }
+                    if let Some(obs) = obs {
+                        obs.mark(
+                            mobius_obs::Lane::Solver,
+                            "solver",
+                            "bb-incumbent",
+                            stats.nodes as u64,
+                            vec![
+                                ("objective", mobius_obs::AttrValue::F64(s.objective)),
+                                ("nodes", mobius_obs::AttrValue::U64(stats.nodes as u64)),
+                            ],
+                        );
+                    }
                     incumbent = Some(s);
                 }
                 Some((v, _)) => {
@@ -205,8 +237,10 @@ mod tests {
         match out {
             MipOutcome::Optimal(s) => {
                 assert!((s.objective - 220.0).abs() < 1e-6);
-                assert_eq!(s.x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(),
-                           vec![0, 1, 1]);
+                assert_eq!(
+                    s.x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(),
+                    vec![0, 1, 1]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -106,6 +106,7 @@ pub struct SegmentSearch {
     node_limit: usize,
     time_budget: Option<Duration>,
     seed: Option<(Vec<usize>, f64)>,
+    obs: Option<mobius_obs::Obs>,
 }
 
 impl SegmentSearch {
@@ -122,7 +123,17 @@ impl SegmentSearch {
             node_limit: 2_000_000,
             time_budget: None,
             seed: None,
+            obs: None,
         }
+    }
+
+    /// Attaches an observer: each new incumbent is marked on the solver lane
+    /// (wall-clock stamped) and `mip.evaluated` / `mip.pruned` counters plus
+    /// the `mip.incumbent_gap` gauge (relative improvement over the seed)
+    /// are filled in at the end of the solve.
+    pub fn observe(mut self, obs: mobius_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Seeds the search with a known-feasible incumbent (its cost must come
@@ -172,6 +183,17 @@ impl SegmentSearch {
             started,
         );
         stats.elapsed_secs = started.elapsed().as_secs_f64();
+        if let Some(obs) = &self.obs {
+            obs.counter_add("mip.evaluated", stats.evaluated as f64);
+            obs.counter_add("mip.pruned", stats.pruned as f64);
+            if let (Some((_, seed_cost)), Some((_, final_cost))) = (&self.seed, &best) {
+                // Relative incumbent improvement: how far the search moved
+                // below the seed it started from (0 = seed was optimal).
+                if *seed_cost > 0.0 {
+                    obs.gauge_set("mip.incumbent_gap", (seed_cost - final_cost) / seed_cost);
+                }
+            }
+        }
         best.map(|(sizes, cost)| SegmentResult { sizes, cost, stats })
     }
 
@@ -190,6 +212,22 @@ impl SegmentSearch {
             stats.evaluated += 1;
             if let Some(cost) = obj.cost(prefix) {
                 if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    if let Some(obs) = &self.obs {
+                        obs.mark(
+                            mobius_obs::Lane::Solver,
+                            "solver",
+                            "incumbent",
+                            started.elapsed().as_nanos() as u64,
+                            vec![
+                                ("cost", mobius_obs::AttrValue::F64(cost)),
+                                ("stages", mobius_obs::AttrValue::U64(prefix.len() as u64)),
+                                (
+                                    "evaluated",
+                                    mobius_obs::AttrValue::U64(stats.evaluated as u64),
+                                ),
+                            ],
+                        );
+                    }
                     *best = Some((prefix.clone(), cost));
                 }
             }
@@ -217,9 +255,7 @@ impl SegmentSearch {
             }
         }
         let remaining = self.n_items - covered;
-        let cap = obj
-            .max_stage_size(prefix.len(), covered)
-            .min(remaining);
+        let cap = obj.max_stage_size(prefix.len(), covered).min(remaining);
         if cap == 0 {
             return; // next stage cannot hold even one item
         }
@@ -256,7 +292,7 @@ pub fn chain_partition_dp(weights: &[f64], k: usize) -> (Vec<usize>, f64) {
         pre[i + 1] = pre[i] + w;
     }
     let seg = |a: usize, b: usize| pre[b] - pre[a]; // [a, b)
-    // dp[j][i]: best bottleneck partitioning first i items into j parts.
+                                                    // dp[j][i]: best bottleneck partitioning first i items into j parts.
     let mut dp = vec![vec![f64::INFINITY; n + 1]; k + 1];
     let mut cut = vec![vec![0usize; n + 1]; k + 1];
     dp[0][0] = 0.0;

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use mobius_mip::{
-    chain_partition_dp, Cmp, Lp, LpOutcome, Mip, MipOutcome, Sense,
-};
+use mobius_mip::{chain_partition_dp, Cmp, Lp, LpOutcome, Mip, MipOutcome, Sense};
 
 /// Brute-force 0/1 knapsack for cross-checking the MIP solver.
 fn knapsack_brute(values: &[f64], weights: &[f64], cap: f64) -> f64 {

@@ -106,9 +106,7 @@ impl LayerKind {
         match *self {
             LayerKind::Embedding { hidden, seq, .. }
             | LayerKind::TransformerBlock { hidden, seq, .. }
-            | LayerKind::SwigluBlock { hidden, seq, .. } => {
-                (mbs * seq * hidden) as u64 * FP16
-            }
+            | LayerKind::SwigluBlock { hidden, seq, .. } => (mbs * seq * hidden) as u64 * FP16,
             // Logits: with loss fused we only surface the scalar loss and
             // the (recomputable) logits are workspace, not a boundary
             // activation.

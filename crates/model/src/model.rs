@@ -195,10 +195,7 @@ mod tests {
         let m = Model::from_config(&GptConfig::gpt_15b());
         let groups = m.similarity_groups();
         assert_eq!(groups.len(), 3, "embed / block / head");
-        let block_group = groups
-            .iter()
-            .find(|(k, _)| k.label() == "block")
-            .unwrap();
+        let block_group = groups.iter().find(|(k, _)| k.label() == "block").unwrap();
         assert_eq!(block_group.1.len(), 40);
     }
 
@@ -207,7 +204,10 @@ mod tests {
         let b7 = Model::llama2_7b().total_params() as f64 / 1e9;
         assert!((6.3..7.3).contains(&b7), "LLaMA2-7B has {b7:.2}B params");
         let b13 = Model::llama2_13b().total_params() as f64 / 1e9;
-        assert!((12.3..13.7).contains(&b13), "LLaMA2-13B has {b13:.2}B params");
+        assert!(
+            (12.3..13.7).contains(&b13),
+            "LLaMA2-13B has {b13:.2}B params"
+        );
     }
 
     #[test]

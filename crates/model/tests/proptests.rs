@@ -6,15 +6,7 @@ use mobius_model::{GptConfig, LayerKind, Model};
 
 fn arb_config() -> impl Strategy<Value = GptConfig> {
     (1usize..8, 1usize..6, 1usize..24, 6usize..10).prop_map(|(h64, heads, layers, seq_pow)| {
-        GptConfig::new(
-            "prop",
-            1024,
-            h64 * 64,
-            heads,
-            layers,
-            1 << seq_pow,
-            1,
-        )
+        GptConfig::new("prop", 1024, h64 * 64, heads, layers, 1 << seq_pow, 1)
     })
 }
 

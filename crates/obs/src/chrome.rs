@@ -1,0 +1,201 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! Lanes map to process/thread pairs: pid 0 is the run lane, pid 1 groups
+//! the GPUs (one thread per device), pid 2 groups the links (one thread per
+//! named simplex link, sorted by name), and pid 3 is the solver. Spans
+//! become `"X"` complete events, instants become `"i"` events; timestamps
+//! are microseconds with nanosecond precision.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+use crate::span::{AttrValue, EventLog, Lane};
+
+const PID_RUN: u32 = 0;
+const PID_GPU: u32 = 1;
+const PID_LINK: u32 = 2;
+const PID_SOLVER: u32 = 3;
+
+/// Nanoseconds to a microsecond JSON number with ns precision.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn attr_json(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(x) => format!("{x}"),
+        AttrValue::I64(x) => format!("{x}"),
+        AttrValue::F64(x) => json::number(*x),
+        AttrValue::Str(s) => json::string(s),
+        AttrValue::Bool(b) => format!("{b}"),
+    }
+}
+
+fn args_json(attrs: &[(&'static str, AttrValue)]) -> String {
+    json::object(attrs.iter().map(|(k, v)| (*k, attr_json(v))))
+}
+
+fn meta(pid: u32, tid: u32, which: &str, name: &str) -> String {
+    json::object([
+        ("name", json::string(which)),
+        ("ph", json::string("M")),
+        ("pid", format!("{pid}")),
+        ("tid", format!("{tid}")),
+        ("args", json::object([("name", json::string(name))])),
+    ])
+}
+
+/// Renders the whole log as a Chrome trace JSON document.
+pub fn export(log: &EventLog) -> String {
+    // Assign link lanes stable thread ids in name order so output does not
+    // depend on which link happened to carry the first flow.
+    let mut link_tids: BTreeMap<&str, u32> = BTreeMap::new();
+    for e in log.events() {
+        if let Lane::Link(name) = &e.lane {
+            let next = link_tids.len() as u32;
+            link_tids.entry(name.as_str()).or_insert(next);
+        }
+    }
+    let mut sorted: Vec<&str> = link_tids.keys().copied().collect();
+    sorted.sort_unstable();
+    for (i, name) in sorted.iter().enumerate() {
+        link_tids.insert(name, i as u32);
+    }
+
+    let mut events: Vec<String> = Vec::with_capacity(log.len() + 16);
+    events.push(meta(PID_RUN, 0, "process_name", "run"));
+    events.push(meta(PID_GPU, 0, "process_name", "GPUs"));
+    events.push(meta(PID_LINK, 0, "process_name", "PCIe links"));
+    events.push(meta(PID_SOLVER, 0, "process_name", "solver"));
+    let mut gpu_tids: Vec<u32> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e.lane {
+            Lane::Gpu(g) => Some(g as u32),
+            _ => None,
+        })
+        .collect();
+    gpu_tids.sort_unstable();
+    gpu_tids.dedup();
+    for g in &gpu_tids {
+        events.push(meta(PID_GPU, *g, "thread_name", &format!("gpu{g}")));
+    }
+    for name in &sorted {
+        events.push(meta(PID_LINK, link_tids[name], "thread_name", name));
+    }
+
+    for e in log.events() {
+        let (pid, tid) = match &e.lane {
+            Lane::Run => (PID_RUN, 0),
+            Lane::Gpu(g) => (PID_GPU, *g as u32),
+            Lane::Link(name) => (PID_LINK, link_tids[name.as_str()]),
+            Lane::Solver => (PID_SOLVER, 0),
+        };
+        let mut fields = vec![
+            ("name", json::string(&e.name)),
+            ("cat", json::string(e.cat)),
+        ];
+        match e.dur_ns {
+            Some(d) => {
+                fields.push(("ph", json::string("X")));
+                fields.push(("ts", us(e.start_ns)));
+                fields.push(("dur", us(d)));
+            }
+            None => {
+                fields.push(("ph", json::string("i")));
+                fields.push(("ts", us(e.start_ns)));
+                fields.push(("s", json::string("t")));
+            }
+        }
+        fields.push(("pid", format!("{pid}")));
+        fields.push(("tid", format!("{tid}")));
+        if !e.attrs.is_empty() {
+            fields.push(("args", args_json(&e.attrs)));
+        }
+        events.push(json::object(fields));
+    }
+
+    format!(
+        "{{\"traceEvents\":{},\"displayTimeUnit\":\"ms\"}}",
+        json::array(events)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Event;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.push(Event {
+            lane: Lane::Link("rc0-h2d".into()),
+            cat: "comm",
+            name: "stage-upload".into(),
+            start_ns: 1_500,
+            dur_ns: Some(2_000),
+            attrs: vec![("bytes", AttrValue::U64(4096))],
+        });
+        log.push(Event {
+            lane: Lane::Link("gpu0-lane-h2d".into()),
+            cat: "comm",
+            name: "stage-upload".into(),
+            start_ns: 1_500,
+            dur_ns: Some(2_000),
+            attrs: vec![],
+        });
+        log.push(Event {
+            lane: Lane::Gpu(0),
+            cat: "compute",
+            name: "fwd".into(),
+            start_ns: 0,
+            dur_ns: Some(1_000),
+            attrs: vec![],
+        });
+        log.push(Event {
+            lane: Lane::Solver,
+            cat: "solver",
+            name: "incumbent".into(),
+            start_ns: 7,
+            dur_ns: None,
+            attrs: vec![("cost", AttrValue::F64(1.25))],
+        });
+        log
+    }
+
+    #[test]
+    fn microsecond_timestamps_keep_ns_precision() {
+        assert_eq!(us(1_500), "1.500");
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1_000_001), "1000.001");
+    }
+
+    #[test]
+    fn exports_complete_and_instant_events() {
+        let out = export(&sample_log());
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"dur\":\"2.000\"") || out.contains("\"dur\":2.000"));
+        assert!(out.contains("\"args\":{\"bytes\":4096}"));
+        assert!(out.contains("\"args\":{\"cost\":1.25}"));
+    }
+
+    #[test]
+    fn link_threads_are_sorted_by_name() {
+        let out = export(&sample_log());
+        // gpu0-lane-h2d sorts before rc0-h2d, so it gets tid 0.
+        let lane = out.find("\"name\":\"gpu0-lane-h2d\"").unwrap();
+        let rc = out.find("\"name\":\"rc0-h2d\"").unwrap();
+        assert!(lane < rc);
+    }
+
+    #[test]
+    fn every_lane_kind_has_a_process() {
+        let out = export(&sample_log());
+        for p in ["run", "GPUs", "PCIe links", "solver"] {
+            assert!(out.contains(&format!("\"args\":{{\"name\":\"{p}\"}}")));
+        }
+        assert!(out.contains("\"name\":\"gpu0\""));
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal deterministic JSON writing helpers.
+//!
+//! The workspace's `serde` is an offline marker shim (its derives expand to
+//! nothing), so every JSON emitter in the tree writes strings by hand. These
+//! helpers keep that honest: proper escaping and a number format that is
+//! stable across runs, which is what makes golden-file trace tests possible.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `s` as a quoted, escaped JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Formats a finite f64 as a JSON number; non-finite values (which JSON
+/// cannot represent) become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Joins already-rendered JSON values into an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Joins already-rendered `"key":value` pairs into an object. Keys are
+/// escaped; values must already be valid JSON.
+pub fn object<'a, I: IntoIterator<Item = (&'a str, String)>>(fields: I) -> String {
+    let body: Vec<String> = fields
+        .into_iter()
+        .map(|(k, v)| format!("{}:{v}", string(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_plain_or_null() {
+        assert_eq!(number(1.0), "1");
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn composes_objects_and_arrays() {
+        let o = object([("a", number(1.0)), ("b", string("x"))]);
+        assert_eq!(o, "{\"a\":1,\"b\":\"x\"}");
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+    }
+}

@@ -1,0 +1,263 @@
+//! # mobius-obs
+//!
+//! Observability for the Mobius reproduction: a span/event recorder, a
+//! metrics registry (counters, gauges, fixed-bucket histograms), and
+//! exporters — Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`) plus human-readable and JSON metrics reports.
+//!
+//! The crate sits *below* the simulator: timestamps are plain `u64`
+//! nanoseconds (the simulator stamps them with simulated time, the MIP
+//! solver with wall-clock search time), so every other crate can depend on
+//! it without a cycle. Recording is strictly passive — attaching an [`Obs`]
+//! handle never schedules events, starts flows, or otherwise perturbs a
+//! simulation, which is what lets the test suite assert that traced and
+//! untraced runs produce bit-identical timings.
+//!
+//! An [`Obs`] handle is a cheap shared reference: cloning it shares the
+//! underlying event log and registry, so one handle can be threaded through
+//! an engine, a flow network, and a trace recorder that each also need to
+//! be `Clone`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobius_obs::{AttrValue, Lane, Obs};
+//!
+//! let obs = Obs::new();
+//! obs.span(
+//!     Lane::Gpu(0),
+//!     "compute",
+//!     "fwd",
+//!     0,
+//!     1_000_000,
+//!     vec![("microbatch", AttrValue::U64(0))],
+//! );
+//! obs.counter_add("bytes.stage-upload", 4096.0);
+//! let trace = obs.chrome_trace_json();
+//! assert!(trace.starts_with("{\"traceEvents\":["));
+//! assert!(obs.metrics_text().contains("bytes.stage-upload"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod json;
+mod metrics;
+mod report;
+mod span;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{AttrValue, Event, EventLog, Lane};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default bucket bounds (in Gbit-free GB/s) for flow-bandwidth histograms.
+pub const GBPS_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 32.0, 64.0];
+
+struct ObsInner {
+    log: EventLog,
+    metrics: MetricsRegistry,
+}
+
+/// Shared handle to an event log plus a metrics registry.
+///
+/// Clones share state; all methods take `&self` (interior mutability), so a
+/// handle can be stored inside several `Clone` structs at once.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Rc<RefCell<ObsInner>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Obs")
+            .field("events", &inner.log.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Obs {
+            inner: Rc::new(RefCell::new(ObsInner {
+                log: EventLog::new(),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Records a completed span on `lane` spanning `[start_ns, end_ns]`.
+    ///
+    /// `cat` is the Chrome trace category (e.g. `"compute"`, `"comm"`,
+    /// `"solver"`); `attrs` become the event's `args`.
+    pub fn span(
+        &self,
+        lane: Lane,
+        cat: &'static str,
+        name: impl Into<String>,
+        start_ns: u64,
+        end_ns: u64,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        self.inner.borrow_mut().log.push(Event {
+            lane,
+            cat,
+            name: name.into(),
+            start_ns,
+            dur_ns: Some(end_ns.saturating_sub(start_ns)),
+            attrs,
+        });
+    }
+
+    /// Records an instant event (a point in time) on `lane`.
+    pub fn mark(
+        &self,
+        lane: Lane,
+        cat: &'static str,
+        name: impl Into<String>,
+        at_ns: u64,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        self.inner.borrow_mut().log.push(Event {
+            lane,
+            cat,
+            name: name.into(),
+            start_ns: at_ns,
+            dur_ns: None,
+            attrs,
+        });
+    }
+
+    /// Records a strict-validation violation as a structured event and bumps
+    /// the `violations` counter. Callers emit this *before* panicking so the
+    /// failure carries context (which subsystem, what was violated, when).
+    pub fn violation(&self, context: &'static str, detail: &str, at_ns: u64) {
+        self.mark(
+            Lane::Run,
+            "violation",
+            format!("violation: {context}"),
+            at_ns,
+            vec![
+                ("context", AttrValue::Str(context.to_string())),
+                ("detail", AttrValue::Str(detail.to_string())),
+            ],
+        );
+        self.counter_add("violations", 1.0);
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: f64) {
+        self.inner.borrow_mut().metrics.counter_add(name, delta);
+    }
+
+    /// Reads a counter back; zero when never incremented.
+    pub fn counter(&self, name: &str) -> f64 {
+        self.inner.borrow().metrics.counter(name)
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner.borrow_mut().metrics.gauge_set(name, value);
+    }
+
+    /// Reads a gauge back; `None` when never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().metrics.gauge(name)
+    }
+
+    /// Records `value` into the named fixed-bucket histogram. The bucket
+    /// bounds are fixed by the *first* record for that name; later calls
+    /// ignore their `bounds` argument.
+    pub fn histogram_record(&self, name: &str, bounds: &[f64], value: f64) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .histogram_record(name, bounds, value);
+    }
+
+    /// Number of recorded span/instant events.
+    pub fn event_count(&self) -> usize {
+        self.inner.borrow().log.len()
+    }
+
+    /// Exports the event log as Chrome trace-event JSON — one lane per GPU,
+    /// per PCIe/NVLink link, plus solver and run lanes. Load the file in
+    /// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome::export(&self.inner.borrow().log)
+    }
+
+    /// Exports the metrics registry as a JSON object with `counters`,
+    /// `gauges`, and `histograms` keys.
+    pub fn metrics_json(&self) -> String {
+        report::render_json(&self.inner.borrow().metrics)
+    }
+
+    /// Renders the metrics registry as a human-readable report.
+    pub fn metrics_text(&self) -> String {
+        report::render_text(&self.inner.borrow().metrics)
+    }
+
+    /// Runs `f` with shared access to the metrics registry (snapshot reads).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> R {
+        f(&self.inner.borrow().metrics)
+    }
+
+    /// Runs `f` with shared access to the event log (exporters, tests).
+    pub fn with_events<R>(&self, f: impl FnOnce(&EventLog) -> R) -> R {
+        f(&self.inner.borrow().log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Obs::new();
+        let b = a.clone();
+        b.counter_add("x", 2.0);
+        assert_eq!(a.counter("x"), 2.0);
+        b.span(Lane::Gpu(1), "compute", "fwd", 0, 10, vec![]);
+        assert_eq!(a.event_count(), 1);
+    }
+
+    #[test]
+    fn violation_is_counted_and_logged() {
+        let obs = Obs::new();
+        obs.violation("flow-network", "link oversubscribed", 42);
+        assert_eq!(obs.counter("violations"), 1.0);
+        let json = obs.chrome_trace_json();
+        assert!(json.contains("violation: flow-network"));
+        assert!(json.contains("link oversubscribed"));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let obs = Obs::new();
+        assert_eq!(obs.gauge("bubble.mean"), None);
+        obs.gauge_set("bubble.mean", 0.5);
+        obs.gauge_set("bubble.mean", 0.25);
+        assert_eq!(obs.gauge("bubble.mean"), Some(0.25));
+    }
+
+    #[test]
+    fn debug_does_not_dump_the_log() {
+        let obs = Obs::new();
+        obs.span(Lane::Run, "c", "huge", 0, 1, vec![]);
+        let dbg = format!("{obs:?}");
+        assert!(dbg.contains("Obs"));
+        assert!(!dbg.contains("huge"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds` are upper bucket edges, `counts` has
+/// one slot per bound plus a final overflow slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given upper bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Upper bucket edges.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last slot counts observations above every edge.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms, each kept in sorted order so
+/// exports are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    ///
+    /// The accumulation is a plain `+=` so a counter mirroring another f64
+    /// accumulator (e.g. `TraceRecorder`'s per-kind traffic map) stays
+    /// bit-identical to it when fed the same increments in the same order.
+    pub fn counter_add(&mut self, name: &str, delta: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Reads a counter; zero when never incremented.
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> &BTreeMap<String, f64> {
+        &self.counters
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads a gauge; `None` when never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// Records into a histogram, creating it with `bounds` on first use.
+    pub fn histogram_record(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::new(&[1.0, 4.0, 16.0]);
+        for v in [0.5, 1.0, 3.0, 20.0] {
+            h.record(v);
+        }
+        // `<=` edges: 0.5 and 1.0 land in the first bucket.
+        assert_eq!(h.counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 24.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[4.0, 1.0]);
+    }
+
+    #[test]
+    fn counters_accumulate_exactly() {
+        let mut m = MetricsRegistry::new();
+        let mut shadow = 0.0_f64;
+        for x in [0.1, 0.7, 1e9, 3.3] {
+            m.counter_add("bytes", x);
+            shadow += x;
+        }
+        // Bit-identical, not merely approximately equal.
+        assert_eq!(m.counter("bytes").to_bits(), shadow.to_bits());
+        assert_eq!(m.counter("missing"), 0.0);
+    }
+
+    #[test]
+    fn registry_iterates_in_name_order() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("z", 1.0);
+        m.gauge_set("a", 2.0);
+        let names: Vec<&String> = m.gauges().keys().collect();
+        assert_eq!(names, ["a", "z"]);
+    }
+}

@@ -268,7 +268,11 @@ pub fn evaluate_analytic(
     for j in 0..s {
         let gpu = mapping.gpu_of(j);
         let pos = pos_f[j];
-        let load = if hetero { stages[j].fwd_load_bytes() } else { 0 };
+        let load = if hetero {
+            stages[j].fwd_load_bytes()
+        } else {
+            0
+        };
         traffic.upload_bytes += load as f64;
 
         // Constraints 5, 6, 9: prefetch into reserved memory during the
@@ -321,8 +325,7 @@ pub fn evaluate_analytic(
             if mapping.gpu_of(j - 1) != gpu {
                 // Staged transfer crosses the bus twice, forward and again
                 // backward for the activation gradient.
-                traffic.act_transfer_bytes +=
-                    (4 * m as u64 * stages[j].in_act_bytes) as f64;
+                traffic.act_transfer_bytes += (4 * m as u64 * stages[j].in_act_bytes) as f64;
             }
         }
     }
@@ -356,7 +359,11 @@ pub fn evaluate_analytic(
             0
         };
         traffic.upload_bytes += load as f64;
-        traffic.grad_bytes += if hetero { stages[j].grad_bytes as f64 } else { 0.0 };
+        traffic.grad_bytes += if hetero {
+            stages[j].grad_bytes as f64
+        } else {
+            0.0
+        };
 
         let ready = if !hetero {
             if pos == 0 {
@@ -492,8 +499,7 @@ mod tests {
         // but the per-GPU-last re-upload.
         let stages: Vec<StageCosts> = (0..8).map(|_| stage(10, GB, 0)).collect();
         let mapping = Mapping::sequential(8, 4);
-        let sch = evaluate_analytic(&stages, &mapping, &cfg(4, MemoryMode::Heterogeneous))
-            .unwrap();
+        let sch = evaluate_analytic(&stages, &mapping, &cfg(4, MemoryMode::Heterogeneous)).unwrap();
         let expected = (8 + 4) as f64 * GB as f64; // 8 fwd + 4 bwd re-uploads
         assert_eq!(sch.traffic.upload_bytes, expected);
         assert_eq!(sch.traffic.grad_bytes, 8.0 * GB as f64);
@@ -503,8 +509,7 @@ mod tests {
     fn upload_delays_first_start() {
         let stages: Vec<StageCosts> = (0..4).map(|_| stage(10, 131 * GB / 100, 0)).collect();
         let mapping = Mapping::sequential(4, 4);
-        let sch = evaluate_analytic(&stages, &mapping, &cfg(4, MemoryMode::Heterogeneous))
-            .unwrap();
+        let sch = evaluate_analytic(&stages, &mapping, &cfg(4, MemoryMode::Heterogeneous)).unwrap();
         let expected = (131 * GB / 100) as f64 / 13.1e9;
         let t0 = sch.fwd_start[0][0];
         assert!(
@@ -524,8 +529,7 @@ mod tests {
             s.param_bytes = GB / 64;
         }
         let mapping = Mapping::sequential(8, 4);
-        let sch = evaluate_analytic(&stages, &mapping, &cfg(4, MemoryMode::Heterogeneous))
-            .unwrap();
+        let sch = evaluate_analytic(&stages, &mapping, &cfg(4, MemoryMode::Heterogeneous)).unwrap();
         // Stage 4 on GPU 0 should start immediately after stage 0 finishes
         // (plus the activation hop from stage 3).
         let stage0_finish = sch.fwd_start[0][3] + stages[0].fwd;
@@ -552,8 +556,7 @@ mod tests {
         };
         let stages = vec![big, big];
         let mapping = Mapping::from_table(vec![0, 0], 1);
-        let sch = evaluate_analytic(&stages, &mapping, &cfg(2, MemoryMode::Heterogeneous))
-            .unwrap();
+        let sch = evaluate_analytic(&stages, &mapping, &cfg(2, MemoryMode::Heterogeneous)).unwrap();
         let stage0_finish = sch.fwd_start[0][1] + stages[0].fwd;
         let gap = (sch.fwd_start[1][0] - stage0_finish).as_secs_f64();
         let full_upload = 10.0 * GB as f64 / 13.1e9;
@@ -567,8 +570,8 @@ mod tests {
     fn oversized_stage_rejected() {
         let stages = vec![stage(10, 30 * GB, 0)];
         let mapping = Mapping::from_table(vec![0], 1);
-        let err = evaluate_analytic(&stages, &mapping, &cfg(1, MemoryMode::Heterogeneous))
-            .unwrap_err();
+        let err =
+            evaluate_analytic(&stages, &mapping, &cfg(1, MemoryMode::Heterogeneous)).unwrap_err();
         assert!(matches!(err, ScheduleError::StageTooLarge { stage: 0, .. }));
     }
 
@@ -585,8 +588,7 @@ mod tests {
     fn backward_waits_for_forward_barrier() {
         let stages: Vec<StageCosts> = (0..2).map(|_| stage(10, GB, 0)).collect();
         let mapping = Mapping::sequential(2, 2);
-        let sch =
-            evaluate_analytic(&stages, &mapping, &cfg(2, MemoryMode::Resident)).unwrap();
+        let sch = evaluate_analytic(&stages, &mapping, &cfg(2, MemoryMode::Resident)).unwrap();
         let last_fwd = sch.fwd_start[1][1] + stages[1].fwd;
         assert!(sch.bwd_start[1][0] >= last_fwd);
     }

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use mobius_mapping::Mapping;
+use mobius_obs::{AttrValue, Lane, Obs};
 use mobius_sim::{CommKind, Engine, FlowId, SimTime, TraceRecorder};
 use mobius_topology::{ServerNetwork, Topology};
 
@@ -182,6 +183,7 @@ struct Executor<'a> {
     num_stages: usize,
     m: usize,
     steps: usize,
+    obs: Option<Obs>,
 }
 
 /// Simulates one training step of the pipeline on `topo` with full
@@ -197,7 +199,27 @@ pub fn simulate_step(
     topo: &Topology,
     cfg: &PipelineConfig,
 ) -> Result<SimStepReport, ScheduleError> {
-    let multi = simulate_steps(stages, mapping, topo, cfg, 1)?;
+    simulate_step_traced(stages, mapping, topo, cfg, None)
+}
+
+/// [`simulate_step`] with an optional observer. When `obs` is given, every
+/// compute cell and transfer is recorded as a span (GPU and link lanes),
+/// byte counters mirror the traffic map, and prefetch/swap/bubble metrics
+/// land in the registry. Observation is passive: results are bit-identical
+/// with or without it.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory or the
+/// mapping mismatches the stage list.
+pub fn simulate_step_traced(
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    topo: &Topology,
+    cfg: &PipelineConfig,
+    obs: Option<&Obs>,
+) -> Result<SimStepReport, ScheduleError> {
+    let multi = simulate_steps_traced(stages, mapping, topo, cfg, 1, obs)?;
     Ok(SimStepReport {
         step_time: multi.step_boundaries[0],
         drain_time: multi.drain_time,
@@ -223,6 +245,28 @@ pub fn simulate_steps(
     topo: &Topology,
     cfg: &PipelineConfig,
     steps: usize,
+) -> Result<MultiStepReport, ScheduleError> {
+    simulate_steps_traced(stages, mapping, topo, cfg, steps, None)
+}
+
+/// [`simulate_steps`] with an optional observer (see
+/// [`simulate_step_traced`] for what gets recorded).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory or the
+/// mapping mismatches the stage list.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or the mapping's GPU count mismatches `topo`.
+pub fn simulate_steps_traced(
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    topo: &Topology,
+    cfg: &PipelineConfig,
+    steps: usize,
+    obs: Option<&Obs>,
 ) -> Result<MultiStepReport, ScheduleError> {
     let s = stages.len();
     let m = cfg.num_microbatches;
@@ -261,7 +305,11 @@ pub fn simulate_steps(
             let mut slots = Vec::new();
             for step in 0..steps {
                 for &j in &fwd {
-                    let total = if hetero { stages[j].fwd_load_bytes() } else { 0 };
+                    let total = if hetero {
+                        stages[j].fwd_load_bytes()
+                    } else {
+                        0
+                    };
                     fwd_slot_of.insert((step, j), (g, slots.len()));
                     slots.push(Slot {
                         step,
@@ -300,14 +348,22 @@ pub fn simulate_steps(
         // Re-check flow conservation on every rate solve and time advance.
         server.net_mut().set_strict_validation(true);
     }
+    let mut engine = Engine::new();
+    let mut trace = TraceRecorder::new();
+    if let Some(obs) = obs {
+        trace.set_obs(obs.clone());
+        trace.set_link_labels(server.net().link_labels());
+        server.net_mut().set_obs(obs.clone());
+        engine.set_obs(obs.clone());
+    }
 
     let mut exec = Executor {
         stages,
         mapping,
         cfg,
         server,
-        engine: Engine::new(),
-        trace: TraceRecorder::new(),
+        engine,
+        trace,
         gpus,
         flows: HashMap::new(),
         act_in: vec![vec![vec![false; m]; s]; steps],
@@ -320,11 +376,38 @@ pub fn simulate_steps(
         num_stages: s,
         m,
         steps,
+        obs: obs.cloned(),
     };
     exec.run();
+    let drain_time = exec.engine.now();
+    if let Some(obs) = obs {
+        for (i, &b) in exec.step_boundaries.iter().enumerate() {
+            obs.mark(
+                Lane::Run,
+                "pipeline",
+                "step-boundary",
+                b.as_nanos(),
+                vec![("step", AttrValue::U64(i as u64))],
+            );
+        }
+        // Bubble fraction: GPU time not spent computing, relative to the
+        // whole run (drain included) — the quantity behind Figure 8's
+        // exposed-communication story.
+        let total = drain_time.as_secs_f64();
+        if total > 0.0 {
+            let mut sum = 0.0;
+            for g in 0..topo.num_gpus() {
+                let busy = exec.trace.compute_time(g).as_secs_f64();
+                let bubble = (1.0 - busy / total).max(0.0);
+                obs.gauge_set(&format!("bubble.gpu{g}"), bubble);
+                sum += bubble;
+            }
+            obs.gauge_set("bubble.mean", sum / topo.num_gpus() as f64);
+        }
+    }
     Ok(MultiStepReport {
         step_boundaries: exec.step_boundaries,
-        drain_time: exec.engine.now(),
+        drain_time,
         trace: exec.trace,
     })
 }
@@ -496,7 +579,8 @@ impl Executor<'_> {
             };
             let now = self.engine.now();
             self.gpus[g].running = Some((task, now));
-            self.engine.schedule_after(duration, Ev::ComputeDone { gpu: g });
+            self.engine
+                .schedule_after(duration, Ev::ComputeDone { gpu: g });
             if mb == 0 {
                 let cur = self.gpus[g].cur;
                 self.request_prefetch_for_next_slot(g, cur);
@@ -674,12 +758,17 @@ impl Executor<'_> {
             } else {
                 0
             };
-            assert!(
-                computing + p <= self.cfg.gpu_mem_bytes,
-                "prefetch of {p} B for slot {idx} on GPU {g} oversubscribes memory: \
-                 {computing} B already resident of {} B capacity (constraint 5)",
-                self.cfg.gpu_mem_bytes
-            );
+            if computing + p > self.cfg.gpu_mem_bytes {
+                let msg = format!(
+                    "prefetch of {p} B for slot {idx} on GPU {g} oversubscribes memory: \
+                     {computing} B already resident of {} B capacity (constraint 5)",
+                    self.cfg.gpu_mem_bytes
+                );
+                if let Some(obs) = &self.obs {
+                    obs.violation("pipeline-constraint-5", &msg, self.engine.now().as_nanos());
+                }
+                panic!("{msg}");
+            }
         }
         let prio = self.load_priority(slot.stage, slot.phase);
         let path = self.server.dram_to_gpu(g);
@@ -725,6 +814,20 @@ impl Executor<'_> {
             // residual.
             l.prefetch_launched = true;
             bytes = l.total_bytes - l.prefetch_bytes;
+            if let (Some(obs), true) = (&self.obs, l.total_bytes > 0) {
+                // A slot swap whose bytes all arrived by prefetch never
+                // blocks compute — the paper's prefetch win. Any residual
+                // left to upload synchronously is a (partial) miss.
+                obs.counter_add("swap.count", 1.0);
+                obs.counter_add(
+                    if bytes == 0 {
+                        "prefetch.hit"
+                    } else {
+                        "prefetch.miss"
+                    },
+                    1.0,
+                );
+            }
             if bytes == 0 {
                 l.residual_done = true;
                 if l.transferred() && !l.overhead_scheduled {
@@ -828,8 +931,8 @@ mod tests {
         // executor must land exactly on the GPipe fill/drain makespan.
         let stages: Vec<StageCosts> = (0..4).map(|_| stage(10, 100, 1)).collect();
         let mapping = Mapping::sequential(4, 4);
-        let rep = simulate_step(&stages, &mapping, &topo22(), &cfg(4, MemoryMode::Resident))
-            .unwrap();
+        let rep =
+            simulate_step(&stages, &mapping, &topo22(), &cfg(4, MemoryMode::Resident)).unwrap();
         // fwd drain at 70ms, bwd at 70 + 140 = 210ms (act hops ~ns).
         let t = rep.step_time.as_secs_f64();
         assert!((t - 0.210).abs() < 1e-3, "step {t}");
@@ -939,7 +1042,9 @@ mod tests {
             .unwrap()
             .step_time;
         let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 1, 1, 1]);
-        let sim = simulate_step(&stages, &mapping, &topo, &c).unwrap().step_time;
+        let sim = simulate_step(&stages, &mapping, &topo, &c)
+            .unwrap()
+            .step_time;
         let ratio = sim.as_secs_f64() / analytic.as_secs_f64();
         assert!(
             (0.8..1.25).contains(&ratio),
@@ -1038,8 +1143,7 @@ mod tests {
             simulate_steps(&[s], &mapping, &topo, &cfg(1, MemoryMode::Heterogeneous), 2).unwrap();
         // Step 1 cannot finish before: step 0 compute (30ms) + gradient
         // offload (4 GiB) + parameter reload (1 GiB) + compute (30ms).
-        let lower_bound =
-            0.030 + 4.0 * GB as f64 / 13.1e9 + GB as f64 / 13.1e9 + 0.030;
+        let lower_bound = 0.030 + 4.0 * GB as f64 / 13.1e9 + GB as f64 / 13.1e9 + 0.030;
         let total = rep.step_boundaries[1].as_secs_f64();
         assert!(
             total >= lower_bound * 0.98,

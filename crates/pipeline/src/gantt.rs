@@ -79,8 +79,7 @@ pub fn utilization(
     let m = schedule.fwd_start.first().map_or(0, |v| v.len());
     let mut busy = vec![0.0; mapping.num_gpus()];
     for (j, stage) in stages.iter().enumerate() {
-        busy[mapping.gpu_of(j)] +=
-            m as f64 * (stage.fwd.as_secs_f64() + stage.bwd.as_secs_f64());
+        busy[mapping.gpu_of(j)] += m as f64 * (stage.fwd.as_secs_f64() + stage.bwd.as_secs_f64());
     }
     busy.into_iter().map(|b| (b / total).min(1.0)).collect()
 }

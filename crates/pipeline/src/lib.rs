@@ -47,8 +47,8 @@
 mod analytic;
 mod executor;
 mod gantt;
-mod one_f_one_b;
 mod gpipe;
+mod one_f_one_b;
 mod partitioner;
 mod stage;
 mod validate;
@@ -57,13 +57,16 @@ pub use analytic::{
     evaluate_analytic, AnalyticSchedule, MemoryMode, PipelineConfig, ScheduleError,
     TrafficEstimate, DEFAULT_ACT_LATENCY, DEFAULT_SWAP_OVERHEAD,
 };
-pub use executor::{simulate_step, simulate_steps, MultiStepReport, SimStepReport};
+pub use executor::{
+    simulate_step, simulate_step_traced, simulate_steps, simulate_steps_traced, MultiStepReport,
+    SimStepReport,
+};
 pub use gantt::{render_gantt, utilization};
-pub use one_f_one_b::{evaluate_1f1b, OneFOneBSchedule};
 pub use gpipe::{gpipe_memory, plan_gpipe, GpipePlan};
+pub use one_f_one_b::{evaluate_1f1b, OneFOneBSchedule};
 pub use partitioner::{
-    max_stage_partition, min_stage_partition, mip_partition, partition_model, PartitionAlgo,
-    PartitionOutcome,
+    max_stage_partition, min_stage_partition, mip_partition, mip_partition_traced, partition_model,
+    PartitionAlgo, PartitionOutcome,
 };
 pub use stage::{stage_costs, Partition, StageCosts};
 pub use validate::{

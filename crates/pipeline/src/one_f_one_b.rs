@@ -252,7 +252,9 @@ mod tests {
             swap_overhead: SimTime::ZERO,
             ..PipelineConfig::mobius(m, 1 << 40, 13.1e9)
         };
-        let gpipe = evaluate_analytic(&stages, &mapping, &cfg).unwrap().step_time;
+        let gpipe = evaluate_analytic(&stages, &mapping, &cfg)
+            .unwrap()
+            .step_time;
         let ratio = ours.as_secs_f64() / gpipe.as_secs_f64();
         assert!(
             (0.9..1.1).contains(&ratio),

@@ -147,6 +147,25 @@ pub fn mip_partition(
     cfg: &PipelineConfig,
     budget: Duration,
 ) -> Result<PartitionOutcome, ScheduleError> {
+    mip_partition_traced(profile, n_gpus, cfg, budget, None)
+}
+
+/// [`mip_partition`] with an optional observer: the branch-and-bound search
+/// reports incumbent marks on the solver lane plus `mip.*` counters, and the
+/// chosen partition's predicted step time lands in the
+/// `mip.predicted_step_secs` gauge.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::StageTooLarge`] when no feasible segmentation
+/// exists.
+pub fn mip_partition_traced(
+    profile: &ModelProfile,
+    n_gpus: usize,
+    cfg: &PipelineConfig,
+    budget: Duration,
+    obs: Option<&mobius_obs::Obs>,
+) -> Result<PartitionOutcome, ScheduleError> {
     let l = profile.len();
     let objective = PipelineObjective {
         profile,
@@ -181,9 +200,16 @@ pub fn mip_partition(
     if let Some((sizes, cost)) = &seed {
         search = search.seed(sizes.clone(), *cost);
     }
+    if let Some(obs) = obs {
+        search = search.observe(obs.clone());
+    }
     match search.solve(&objective) {
         Some(result) => {
             let partition = Partition::from_sizes(result.sizes);
+            if let Some(obs) = obs {
+                obs.gauge_set("mip.predicted_step_secs", result.cost);
+                obs.gauge_set("mip.stages", partition.num_stages() as f64);
+            }
             Ok(PartitionOutcome {
                 partition,
                 predicted_step: SimTime::from_secs_f64(result.cost),
@@ -442,7 +468,11 @@ mod tests {
     fn partition_model_dispatches() {
         let p = uniform_profile(8, 50, GB);
         let c = cfg();
-        for algo in [PartitionAlgo::Mip, PartitionAlgo::MaxStage, PartitionAlgo::MinStage] {
+        for algo in [
+            PartitionAlgo::Mip,
+            PartitionAlgo::MaxStage,
+            PartitionAlgo::MinStage,
+        ] {
             let out = partition_model(algo, &p, 4, &c).unwrap();
             assert_eq!(out.partition.num_layers(), 8);
         }

@@ -149,11 +149,7 @@ pub fn stage_costs(profile: &ModelProfile, partition: &Partition) -> Vec<StageCo
                     layers[r.start - 1].output_act_bytes
                 },
                 out_act_bytes: layers[r.end - 1].output_act_bytes,
-                workspace_bytes: slice
-                    .iter()
-                    .map(|l| l.workspace_bytes)
-                    .max()
-                    .unwrap_or(0),
+                workspace_bytes: slice.iter().map(|l| l.workspace_bytes).max().unwrap_or(0),
             }
         })
         .collect()

@@ -485,10 +485,7 @@ impl<'a> ScheduleValidator<'a> {
 /// Differential check between the analytic evaluator and the event-driven
 /// executor: on an *uncontended* pipeline their step times must agree
 /// within [`DIFFERENTIAL_RATIO_BAND`].
-pub fn check_differential(
-    analytic: SimTime,
-    simulated: SimTime,
-) -> Result<(), ScheduleViolation> {
+pub fn check_differential(analytic: SimTime, simulated: SimTime) -> Result<(), ScheduleViolation> {
     let a = analytic.as_secs_f64();
     let s = simulated.as_secs_f64();
     assert!(a > 0.0 && s > 0.0, "step times must be positive");
@@ -647,10 +644,8 @@ mod tests {
         let v = ScheduleValidator::new(&stages, &mapping, &cfg);
         assert!(matches!(
             v.validate(&sch),
-            Err(
-                ScheduleViolation::BarrierViolated { .. }
-                    | ScheduleViolation::DependencyOrder { forward: false, .. }
-            )
+            Err(ScheduleViolation::BarrierViolated { .. }
+                | ScheduleViolation::DependencyOrder { forward: false, .. })
         ));
     }
 

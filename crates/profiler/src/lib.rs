@@ -204,8 +204,7 @@ impl Profiler {
         for l in &layers {
             let p = self.profile_layer(l, mbs);
             // Profiling also pays the un-prefetched parameter upload.
-            let upload =
-                SimTime::from_secs_f64(p.param_bytes as f64 / (self.gpu.pcie_gbps * 1e9));
+            let upload = SimTime::from_secs_f64(p.param_bytes as f64 / (self.gpu.pcie_gbps * 1e9));
             for _ in 0..PROFILE_REPS {
                 total += p.fwd + p.bwd + upload;
             }

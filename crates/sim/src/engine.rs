@@ -28,6 +28,7 @@ pub struct Engine<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
     now: SimTime,
+    obs: Option<mobius_obs::Obs>,
 }
 
 #[derive(Debug, Clone)]
@@ -70,7 +71,15 @@ impl<E> Engine<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            obs: None,
         }
+    }
+
+    /// Attaches an observer: every schedule/pop bumps the
+    /// `engine.scheduled` / `engine.popped` counters. Purely passive — event
+    /// order and timing are unaffected.
+    pub fn set_obs(&mut self, obs: mobius_obs::Obs) {
+        self.obs = Some(obs);
     }
 
     /// The current simulated time: the timestamp of the last popped event.
@@ -91,6 +100,9 @@ impl<E> Engine<E> {
             payload,
         });
         self.seq += 1;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("engine.scheduled", 1.0);
+        }
     }
 
     /// Schedules `payload` to fire `delay` after the current time.
@@ -108,6 +120,9 @@ impl<E> Engine<E> {
         let s = self.heap.pop()?;
         debug_assert!(s.at >= self.now, "event queue went backwards");
         self.now = s.at;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("engine.popped", 1.0);
+        }
         Some((s.at, s.payload))
     }
 

@@ -110,12 +110,26 @@ pub struct FlowNetwork {
     next_id: u64,
     now: SimTime,
     strict: bool,
+    obs: Option<mobius_obs::Obs>,
 }
 
 impl FlowNetwork {
     /// Creates an empty network at time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observer: strict-validation failures are then emitted as
+    /// structured violation events (with link and allocation context) before
+    /// the panic, so post-mortem traces show what went wrong and when.
+    pub fn set_obs(&mut self, obs: mobius_obs::Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// All link labels, indexed by [`LinkId::index`] — the lane names used
+    /// by trace exports.
+    pub fn link_labels(&self) -> Vec<String> {
+        self.links.iter().map(|l| l.label.clone()).collect()
     }
 
     /// Current network time (advanced by [`FlowNetwork::advance_to`]).
@@ -325,6 +339,9 @@ impl FlowNetwork {
 
     fn assert_valid(&self) {
         if let Err(v) = self.validate_rates() {
+            if let Some(obs) = &self.obs {
+                obs.violation("flow-network", &v.to_string(), self.now.as_nanos());
+            }
             panic!("flow-network invariant violated at {:?}: {v}", self.now);
         }
     }

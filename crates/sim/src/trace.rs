@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use mobius_obs::{AttrValue, Lane, Obs, GBPS_BUCKETS};
 use serde::{Deserialize, Serialize};
 
 use crate::{FlowRecord, IntervalSet, SimTime};
@@ -14,9 +15,7 @@ use crate::{FlowRecord, IntervalSet, SimTime};
 /// Categories of transfers, used for traffic breakdowns.
 ///
 /// The set is the union of what Mobius and ZeRO-style systems move.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CommKind {
     /// Stage parameters DRAM → GPU (Mobius upload / prefetch).
     StageUpload,
@@ -129,7 +128,10 @@ impl Cdf {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&p), "quantile probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile probability out of range"
+        );
         self.points
             .iter()
             .find(|&&(_, f)| f >= p - 1e-12)
@@ -154,12 +156,21 @@ impl Cdf {
 
 /// Collects everything an experiment needs to report: samples, per-kind
 /// traffic, and per-GPU compute/communication busy intervals.
+///
+/// When an [`Obs`] handle is attached (see [`TraceRecorder::set_obs`]) every
+/// recorded flow and compute interval is additionally emitted as a span on
+/// the observer's GPU and link lanes, and byte counters named
+/// `bytes.<kind-label>` mirror the per-kind traffic map *bit-exactly* (the
+/// same `+=` sequence on the same values). Observation is purely passive:
+/// attaching a handle never changes what is recorded or simulated.
 #[derive(Debug, Clone, Default)]
 pub struct TraceRecorder {
     samples: Vec<BandwidthSample>,
     traffic: BTreeMap<CommKind, f64>,
     compute: BTreeMap<usize, IntervalSet>,
     comm: BTreeMap<usize, IntervalSet>,
+    obs: Option<Obs>,
+    link_labels: Vec<String>,
 }
 
 impl TraceRecorder {
@@ -168,14 +179,31 @@ impl TraceRecorder {
         Self::default()
     }
 
+    /// Attaches an observer; subsequent recordings also emit spans/counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Obs> {
+        self.obs.as_ref()
+    }
+
+    /// Supplies link names indexed by [`crate::LinkId`] so flow spans can be
+    /// placed on per-link lanes (see [`crate::FlowNetwork::link_labels`]).
+    pub fn set_link_labels(&mut self, labels: Vec<String>) {
+        self.link_labels = labels;
+    }
+
     /// Records a completed transfer. `gpus` lists the GPUs whose PCIe lanes
     /// the transfer occupied (one for DRAM↔GPU copies, two for GPU↔GPU).
     pub fn record_flow(&mut self, rec: &FlowRecord, kind: CommKind, gpus: &[usize]) {
         let seconds = (rec.finished - rec.started).as_secs_f64().max(1e-12);
+        let gbps = rec.bytes / seconds / 1e9;
         self.samples.push(BandwidthSample {
             bytes: rec.bytes,
             seconds,
-            gbps: rec.bytes / seconds / 1e9,
+            gbps,
             kind,
         });
         *self.traffic.entry(kind).or_insert(0.0) += rec.bytes;
@@ -185,17 +213,68 @@ impl TraceRecorder {
                 .or_default()
                 .insert(rec.started, rec.finished);
         }
+        if let Some(obs) = &self.obs {
+            obs.counter_add(&format!("bytes.{}", kind.label()), rec.bytes);
+            obs.histogram_record("flow.gbps", &GBPS_BUCKETS, gbps);
+            let (start, end) = (rec.started.as_nanos(), rec.finished.as_nanos());
+            let attrs = |gpu: Option<usize>| {
+                let mut a = vec![
+                    ("bytes", AttrValue::F64(rec.bytes)),
+                    ("gbps", AttrValue::F64(gbps)),
+                ];
+                if let Some(g) = gpu {
+                    a.push(("gpu", AttrValue::U64(g as u64)));
+                }
+                a
+            };
+            for &g in gpus {
+                obs.span(
+                    Lane::Gpu(g),
+                    "comm",
+                    kind.label(),
+                    start,
+                    end,
+                    attrs(Some(g)),
+                );
+            }
+            for link in &rec.path {
+                if let Some(label) = self.link_labels.get(link.index()) {
+                    obs.counter_add(&format!("link.{label}.bytes"), rec.bytes);
+                    obs.span(
+                        Lane::Link(label.clone()),
+                        "comm",
+                        kind.label(),
+                        start,
+                        end,
+                        attrs(None),
+                    );
+                }
+            }
+        }
     }
 
     /// Records an instantaneous (same-device) data movement for traffic
     /// accounting only.
     pub fn record_local(&mut self, bytes: f64, kind: CommKind) {
         *self.traffic.entry(kind).or_insert(0.0) += bytes;
+        if let Some(obs) = &self.obs {
+            obs.counter_add(&format!("bytes.{}", kind.label()), bytes);
+        }
     }
 
     /// Records a compute busy interval on a GPU.
     pub fn record_compute(&mut self, gpu: usize, start: SimTime, end: SimTime) {
         self.compute.entry(gpu).or_default().insert(start, end);
+        if let Some(obs) = &self.obs {
+            obs.span(
+                Lane::Gpu(gpu),
+                "compute",
+                "compute",
+                start.as_nanos(),
+                end.as_nanos(),
+                vec![("gpu", AttrValue::U64(gpu as u64))],
+            );
+        }
     }
 
     /// All bandwidth samples.
@@ -225,7 +304,9 @@ impl TraceRecorder {
 
     /// Compute busy time of one GPU.
     pub fn compute_time(&self, gpu: usize) -> SimTime {
-        self.compute.get(&gpu).map_or(SimTime::ZERO, |s| s.measure())
+        self.compute
+            .get(&gpu)
+            .map_or(SimTime::ZERO, |s| s.measure())
     }
 
     /// Communication busy time of one GPU.
@@ -264,7 +345,12 @@ impl TraceRecorder {
 
     /// GPUs that communicated or computed during the trace.
     pub fn gpus(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.comm.keys().chain(self.compute.keys()).copied().collect();
+        let mut v: Vec<usize> = self
+            .comm
+            .keys()
+            .chain(self.compute.keys())
+            .copied()
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -297,10 +383,16 @@ impl TraceRecorder {
             row.into_iter().collect()
         };
         for g in self.gpus() {
-            out.push_str(&format!("P{g} comp |{}|
-", paint(self.compute.get(&g), '#')));
-            out.push_str(&format!("   comm |{}|
-", paint(self.comm.get(&g), '=')));
+            out.push_str(&format!(
+                "P{g} comp |{}|
+",
+                paint(self.compute.get(&g), '#')
+            ));
+            out.push_str(&format!(
+                "   comm |{}|
+",
+                paint(self.comm.get(&g), '=')
+            ));
         }
         out
     }
@@ -311,6 +403,11 @@ impl TraceRecorder {
         self.samples.extend_from_slice(&other.samples);
         for (&k, &b) in &other.traffic {
             *self.traffic.entry(k).or_insert(0.0) += b;
+            // Mirror the merge into the byte counters so they keep tracking
+            // the traffic map exactly (same += of the same per-kind total).
+            if let Some(obs) = &self.obs {
+                obs.counter_add(&format!("bytes.{}", k.label()), b);
+            }
         }
         for (&g, set) in &other.compute {
             let e = self.compute.entry(g).or_default();

@@ -20,25 +20,11 @@ enum Op {
     MatmulNt(usize, usize),
     Scale(usize, f32),
     Gelu(usize),
-    LayerNorm {
-        x: usize,
-        gain: usize,
-        bias: usize,
-    },
+    LayerNorm { x: usize, gain: usize, bias: usize },
     CausalSoftmax(usize),
-    Embedding {
-        table: usize,
-        tokens: Vec<usize>,
-    },
-    CrossEntropy {
-        logits: usize,
-        targets: Vec<usize>,
-    },
-    SliceCols {
-        x: usize,
-        start: usize,
-        len: usize,
-    },
+    Embedding { table: usize, tokens: Vec<usize> },
+    CrossEntropy { logits: usize, targets: Vec<usize> },
+    SliceCols { x: usize, start: usize, len: usize },
     ConcatCols(Vec<usize>),
 }
 
@@ -289,15 +275,7 @@ impl Tape {
         assert!(len > 0, "empty slice");
         assert!(start + len <= xv.cols(), "slice out of range");
         let v = Tensor::from_fn(xv.rows(), len, |r, c| xv.at(r, start + c));
-        self.push(
-            v,
-            Op::SliceCols {
-                x: x.0,
-                start,
-                len,
-            },
-            vec![],
-        )
+        self.push(v, Op::SliceCols { x: x.0, start, len }, vec![])
     }
 
     /// Concatenates nodes side by side (all must share a row count).
@@ -327,7 +305,11 @@ impl Tape {
             }
             off += t.cols();
         }
-        self.push(v, Op::ConcatCols(parts.iter().map(|p| p.0).collect()), vec![])
+        self.push(
+            v,
+            Op::ConcatCols(parts.iter().map(|p| p.0).collect()),
+            vec![],
+        )
     }
 
     /// Runs reverse-mode differentiation from `loss` (a `1×1` node).
@@ -418,8 +400,7 @@ impl Tape {
                     let p = &self.nodes[i].aux[0];
                     let mut gs = Tensor::zeros(p.rows(), p.cols());
                     for r in 0..p.rows() {
-                        let dot: f32 =
-                            (0..=r).map(|c| g.at(r, c) * p.at(r, c)).sum();
+                        let dot: f32 = (0..=r).map(|c| g.at(r, c) * p.at(r, c)).sum();
                         for c in 0..=r {
                             gs.set(r, c, p.at(r, c) * (g.at(r, c) - dot));
                         }
@@ -648,11 +629,7 @@ mod tests {
     fn grad_cross_entropy() {
         let mut rng = Rng::new(7);
         let x0 = Tensor::randn(3, 5, 1.0, &mut rng);
-        check_all(
-            |tape, x| tape.cross_entropy(x, &[1, 4, 0]),
-            x0,
-            1e-2,
-        );
+        check_all(|tape, x| tape.cross_entropy(x, &[1, 4, 0]), x0, 1e-2);
     }
 
     #[test]

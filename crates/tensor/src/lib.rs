@@ -27,8 +27,8 @@
 
 mod adam;
 mod autograd;
-mod generate;
 mod data;
+mod generate;
 mod nn;
 mod rng;
 mod schedule;

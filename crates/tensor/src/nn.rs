@@ -228,10 +228,7 @@ mod tests {
     #[test]
     fn tensor_layout_matches_constant() {
         let m = model();
-        assert_eq!(
-            m.num_tensors(),
-            2 + m.config().layers * BLOCK_TENSORS + 3
-        );
+        assert_eq!(m.num_tensors(), 2 + m.config().layers * BLOCK_TENSORS + 3);
     }
 
     #[test]

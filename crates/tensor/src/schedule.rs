@@ -69,10 +69,7 @@ impl LrSchedule {
                         (t - warmup) as f32 / (total.saturating_sub(warmup)).max(1) as f32;
                     let progress = progress.min(1.0);
                     let floor = 0.1 * peak;
-                    floor
-                        + 0.5
-                            * (peak - floor)
-                            * (1.0 + (std::f32::consts::PI * progress).cos())
+                    floor + 0.5 * (peak - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
                 }
             }
         }

@@ -68,11 +68,7 @@ pub fn train_loss_curve(corpus: &Corpus, cfg: &TrainConfig, order: ScheduleOrder
 /// # Panics
 ///
 /// Panics if `cfg` has zero steps or microbatches.
-pub fn train(
-    corpus: &Corpus,
-    cfg: &TrainConfig,
-    order: ScheduleOrder,
-) -> (TinyGpt, Vec<f32>) {
+pub fn train(corpus: &Corpus, cfg: &TrainConfig, order: ScheduleOrder) -> (TinyGpt, Vec<f32>) {
     assert!(cfg.steps > 0 && cfg.microbatches > 0, "empty training run");
     let mut init_rng = Rng::new(cfg.seed);
     let mut model = TinyGpt::new(

@@ -109,7 +109,10 @@ impl Topology {
     ///
     /// Panics unless `gbps` is positive and finite.
     pub fn with_ssd_offload(mut self, gbps: f64) -> Self {
-        assert!(gbps.is_finite() && gbps > 0.0, "SSD bandwidth must be positive");
+        assert!(
+            gbps.is_finite() && gbps > 0.0,
+            "SSD bandwidth must be positive"
+        );
         self.ssd_gbps = Some(gbps);
         self
     }

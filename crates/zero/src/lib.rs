@@ -31,7 +31,9 @@
 mod offload;
 mod validate;
 
-pub use offload::{check_offload_memory, simulate_zero_offload_step};
+pub use offload::{
+    check_offload_memory, simulate_zero_offload_step, simulate_zero_offload_step_traced,
+};
 pub use validate::{
     expected_step_traffic, verify_traffic_identity, ExpectedZeroTraffic, ZeroTrafficViolation,
 };
@@ -164,11 +166,8 @@ fn check_memory(profile: &ModelProfile, capacity: u64) -> Result<(), ZeroError> 
     let layers = profile.layers();
     for (i, l) in layers.iter().enumerate() {
         let next_params = layers.get(i + 1).map_or(0, |n| n.param_bytes);
-        let required = l.param_bytes
-            + l.grad_bytes
-            + l.workspace_bytes
-            + l.output_act_bytes
-            + next_params;
+        let required =
+            l.param_bytes + l.grad_bytes + l.workspace_bytes + l.output_act_bytes + next_params;
         if required > capacity {
             return Err(ZeroError::LayerTooLarge {
                 layer: i,
@@ -209,6 +208,24 @@ pub fn simulate_zero_step(
     topo: &Topology,
     cfg: &ZeroConfig,
 ) -> Result<ZeroReport, ZeroError> {
+    simulate_zero_step_traced(profile, topo, cfg, None)
+}
+
+/// [`simulate_zero_step`] with an optional observer: transfers and compute
+/// intervals are emitted as spans on GPU/link lanes, byte counters mirror
+/// the per-kind traffic map, and a strict-mode traffic-identity failure is
+/// logged as a structured violation event before the panic. Observation is
+/// passive — results are bit-identical with or without it.
+///
+/// # Errors
+///
+/// Returns [`ZeroError::LayerTooLarge`] if a layer cannot fit on the GPU.
+pub fn simulate_zero_step_traced(
+    profile: &ModelProfile,
+    topo: &Topology,
+    cfg: &ZeroConfig,
+    obs: Option<&mobius_obs::Obs>,
+) -> Result<ZeroReport, ZeroError> {
     check_memory(profile, topo.gpu_mem_bytes())?;
     let l = profile.len();
     let n = topo.num_gpus();
@@ -228,12 +245,20 @@ pub fn simulate_zero_step(
     if cfg.strict_validation {
         server.net_mut().set_strict_validation(true);
     }
+    let mut engine = Engine::new();
+    let mut trace = TraceRecorder::new();
+    if let Some(obs) = obs {
+        trace.set_obs(obs.clone());
+        trace.set_link_labels(server.net().link_labels());
+        server.net_mut().set_obs(obs.clone());
+        engine.set_obs(obs.clone());
+    }
 
     let mut exec = ZeroExec {
         layers: profile.layers(),
         server,
-        engine: Engine::new(),
-        trace: TraceRecorder::new(),
+        engine,
+        trace,
         gpus,
         flows: HashMap::new(),
         cfg: *cfg,
@@ -245,6 +270,13 @@ pub fn simulate_zero_step(
     exec.run();
     if cfg.strict_validation {
         if let Err(v) = verify_traffic_identity(&exec.trace, profile, topo) {
+            if let Some(obs) = obs {
+                obs.violation(
+                    "zero-traffic-identity",
+                    &v.to_string(),
+                    exec.engine.now().as_nanos(),
+                );
+            }
             panic!("ZeRO traffic identity violated: {v}");
         }
     }
@@ -315,7 +347,15 @@ impl ZeroExec<'_> {
                     Dir::H2d => self.server.dram_to_gpu(gpu),
                     Dir::D2h => self.server.gpu_to_dram(gpu),
                 };
-                self.launch(gpu, path, bytes, 100, CommKind::ParamGather, vec![gpu], true);
+                self.launch(
+                    gpu,
+                    path,
+                    bytes,
+                    100,
+                    CommKind::ParamGather,
+                    vec![gpu],
+                    true,
+                );
             }
             self.gpus[gpu].outstanding_loads -= 1;
         }
@@ -338,7 +378,8 @@ impl ZeroExec<'_> {
             };
             let now = self.engine.now();
             self.gpus[g].computing = Some(now);
-            self.engine.schedule_after(duration, Ev::ComputeDone { gpu: g });
+            self.engine
+                .schedule_after(duration, Ev::ComputeDone { gpu: g });
             // Prefetch the next slot's parameters while computing.
             if self.cfg.prefetch {
                 let next = self.gpus[g].slot + 1;
@@ -360,7 +401,15 @@ impl ZeroExec<'_> {
                 let act = self.layers[layer].output_act_bytes;
                 if act > 0 {
                     let path = self.server.gpu_to_dram(g);
-                    self.launch(g, path, act, 50, CommKind::ActivationOffload, vec![g], false);
+                    self.launch(
+                        g,
+                        path,
+                        act,
+                        50,
+                        CommKind::ActivationOffload,
+                        vec![g],
+                        false,
+                    );
                 }
             }
             Phase::Bwd => {
@@ -597,10 +646,7 @@ mod tests {
         let t_dc = simulate_zero_step(&dc_profile, &dc, &ZeroConfig::default())
             .unwrap()
             .step_time;
-        assert!(
-            t_dc < t_c,
-            "data center {t_dc} should beat commodity {t_c}"
-        );
+        assert!(t_dc < t_c, "data center {t_dc} should beat commodity {t_c}");
     }
 
     #[test]

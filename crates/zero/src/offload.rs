@@ -61,6 +61,23 @@ pub fn simulate_zero_offload_step(
     profile: &ModelProfile,
     topo: &Topology,
 ) -> Result<ZeroReport, ZeroError> {
+    simulate_zero_offload_step_traced(profile, topo, None)
+}
+
+/// [`simulate_zero_offload_step`] with an optional observer: gradient
+/// streams, parameter refreshes, and compute intervals are emitted as spans
+/// on GPU/link lanes and byte counters mirror the traffic map. Observation
+/// is passive — results are bit-identical with or without it.
+///
+/// # Errors
+///
+/// Returns [`ZeroError::LayerTooLarge`] when the full parameter copy does
+/// not fit on a GPU — ZeRO-Offload's defining limitation.
+pub fn simulate_zero_offload_step_traced(
+    profile: &ModelProfile,
+    topo: &Topology,
+    obs: Option<&mobius_obs::Obs>,
+) -> Result<ZeroReport, ZeroError> {
     check_offload_memory(profile, topo.gpu_mem_bytes())?;
     let l = profile.len();
     let n = topo.num_gpus();
@@ -69,6 +86,12 @@ pub fn simulate_zero_offload_step(
     let mut server = ServerNetwork::new(topo);
     let mut engine: Engine<Ev> = Engine::new();
     let mut trace = TraceRecorder::new();
+    if let Some(obs) = obs {
+        trace.set_obs(obs.clone());
+        trace.set_link_labels(server.net().link_labels());
+        server.net_mut().set_obs(obs.clone());
+        engine.set_obs(obs.clone());
+    }
     let mut flows: HashMap<FlowId, (CommKind, usize)> = HashMap::new();
     let mut gpus: Vec<GpuO> = (0..n)
         .map(|_| GpuO {
@@ -188,8 +211,8 @@ mod tests {
         // ZeRO-3 offload and must finish the step sooner.
         let p = profile(&GptConfig::gpt_3b());
         let offload = simulate_zero_offload_step(&p, &topo22()).unwrap();
-        let zero3 = crate::simulate_zero_step(&p, &topo22(), &crate::ZeroConfig::default())
-            .unwrap();
+        let zero3 =
+            crate::simulate_zero_step(&p, &topo22(), &crate::ZeroConfig::default()).unwrap();
         assert!(
             offload.step_time < zero3.step_time,
             "offload {} vs zero-3 {}",

@@ -27,8 +27,14 @@ fn main() {
     );
 
     let rigs: Vec<(&str, Topology)> = vec![
-        ("4x3090-Ti (2+2)", Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2])),
-        ("8x3090-Ti (4+4)", Topology::commodity(GpuSpec::rtx3090ti(), &[4, 4])),
+        (
+            "4x3090-Ti (2+2)",
+            Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]),
+        ),
+        (
+            "8x3090-Ti (4+4)",
+            Topology::commodity(GpuSpec::rtx3090ti(), &[4, 4]),
+        ),
         ("4xV100 NVLink", Topology::data_center(GpuSpec::v100(), 4)),
     ];
 

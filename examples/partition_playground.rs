@@ -9,8 +9,8 @@
 use mobius_mapping::Mapping;
 use mobius_model::{GptConfig, Model};
 use mobius_pipeline::{
-    evaluate_analytic, partition_model, render_gantt, simulate_step, stage_costs,
-    PartitionAlgo, PipelineConfig,
+    evaluate_analytic, partition_model, render_gantt, simulate_step, stage_costs, PartitionAlgo,
+    PipelineConfig,
 };
 use mobius_profiler::Profiler;
 use mobius_topology::{GpuSpec, Topology};
@@ -62,8 +62,7 @@ fn main() {
                     histogram,
                     analytic.step_time.to_string(),
                     sim.step_time.to_string(),
-                    (sim.step_time.as_secs_f64() / analytic.step_time.as_secs_f64() - 1.0)
-                        * 100.0,
+                    (sim.step_time.as_secs_f64() / analytic.step_time.as_secs_f64() - 1.0) * 100.0,
                 );
                 if let Some(stats) = out.stats {
                     println!(

@@ -54,7 +54,11 @@ fn main() -> Result<(), mobius::RunError> {
     }
 
     // GPipe cannot even hold the model.
-    match FineTuner::new(model).topology(topo).system(System::Gpipe).run_step() {
+    match FineTuner::new(model)
+        .topology(topo)
+        .system(System::Gpipe)
+        .run_step()
+    {
         Err(mobius::RunError::OutOfMemory(e)) => println!("GPipe: OOM ({e})"),
         other => println!("GPipe: unexpected {other:?}"),
     }

@@ -17,4 +17,10 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "==> verify OK"

@@ -109,19 +109,14 @@ mod tests {
     #[test]
     fn passing_property_runs_all_cases() {
         let mut count = 0u32;
-        run_cases(
-            &ProptestConfig::with_cases(25),
-            "passing",
-            0u64..100,
-            |v| {
-                count += 1;
-                if v < 100 {
-                    Ok(())
-                } else {
-                    Err(TestCaseError::fail("out of range"))
-                }
-            },
-        );
+        run_cases(&ProptestConfig::with_cases(25), "passing", 0u64..100, |v| {
+            count += 1;
+            if v < 100 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("out of range"))
+            }
+        });
         assert_eq!(count, 25);
     }
 

@@ -32,7 +32,11 @@ fn figure5_oom_matrix() {
             .is_ok()
     };
     for cfg in GptConfig::table3() {
-        assert!(can(&cfg, System::Mobius), "{} must train on Mobius", cfg.name);
+        assert!(
+            can(&cfg, System::Mobius),
+            "{} must train on Mobius",
+            cfg.name
+        );
         assert!(
             can(&cfg, System::DeepSpeedHetero),
             "{} must train on DS-hetero",
@@ -102,7 +106,9 @@ fn analytic_and_simulator_agree_without_contention() {
         let costs = stage_costs(&profile, &out.partition);
         let mapping = Mapping::sequential(out.partition.num_stages(), 4);
         let analytic = evaluate_analytic(&costs, &mapping, &cfg).unwrap().step_time;
-        let sim = simulate_step(&costs, &mapping, &topo, &cfg).unwrap().step_time;
+        let sim = simulate_step(&costs, &mapping, &topo, &cfg)
+            .unwrap()
+            .step_time;
         let ratio = sim.as_secs_f64() / analytic.as_secs_f64();
         assert!(
             (0.85..1.35).contains(&ratio),
@@ -121,15 +127,13 @@ fn traffic_accounting_analytic_vs_simulated() {
     let profile = Profiler::new(topo.gpu().clone()).profile(&model, 1);
     let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth())
         .with_strict_validation(true);
-    let out =
-        mobius_pipeline::partition_model(PartitionAlgo::MinStage, &profile, 4, &cfg).unwrap();
+    let out = mobius_pipeline::partition_model(PartitionAlgo::MinStage, &profile, 4, &cfg).unwrap();
     let costs = stage_costs(&profile, &out.partition);
     let mapping = Mapping::cross(&topo, out.partition.num_stages());
     let analytic = evaluate_analytic(&costs, &mapping, &cfg).unwrap();
     let sim = simulate_step(&costs, &mapping, &topo, &cfg).unwrap();
     let sim_uploads = sim.trace.traffic_by_kind()[&CommKind::StageUpload];
-    let rel = (sim_uploads - analytic.traffic.upload_bytes).abs()
-        / analytic.traffic.upload_bytes;
+    let rel = (sim_uploads - analytic.traffic.upload_bytes).abs() / analytic.traffic.upload_bytes;
     assert!(
         rel < 0.02,
         "upload bytes disagree: analytic {:.2e} vs simulated {sim_uploads:.2e}",

@@ -6,7 +6,11 @@ use mobius_bench::experiments;
 #[test]
 fn every_experiment_regenerates() {
     let all = experiments::run_all(true);
-    assert_eq!(all.len(), 19, "15 paper tables/figures plus 4 extension tables");
+    assert_eq!(
+        all.len(),
+        19,
+        "15 paper tables/figures plus 4 extension tables"
+    );
     for e in &all {
         assert!(!e.columns.is_empty(), "{} has no columns", e.id);
         assert!(!e.rows.is_empty(), "{} has no rows", e.id);
@@ -30,7 +34,10 @@ fn fig05_table_contains_oom_and_speedups() {
     let best = e
         .rows
         .iter()
-        .filter_map(|r| r.last().and_then(|s| s.trim_end_matches('x').parse::<f64>().ok()))
+        .filter_map(|r| {
+            r.last()
+                .and_then(|s| s.trim_end_matches('x').parse::<f64>().ok())
+        })
         .fold(0.0f64, f64::max);
     assert!(best > 3.0, "best speedup in the table is only {best:.2}");
 }

@@ -1,0 +1,143 @@
+//! Integration tests for the `mobius-obs` observability layer: golden
+//! Chrome-trace bytes, metric/trace counter identity, timing invariance,
+//! and lane coverage.
+
+use proptest::prelude::*;
+
+use mobius::{FineTuner, System};
+use mobius_mapping::Mapping;
+use mobius_model::GptConfig;
+use mobius_obs::{Lane, Obs};
+use mobius_pipeline::{
+    simulate_step_traced, simulate_steps, simulate_steps_traced, PipelineConfig, StageCosts,
+};
+use mobius_sim::SimTime;
+use mobius_topology::{GpuSpec, Topology};
+
+fn stage(fwd_ms: u64, param_mb: u64, act_mb: u64) -> StageCosts {
+    StageCosts {
+        fwd: SimTime::from_millis(fwd_ms),
+        bwd: SimTime::from_millis(3 * fwd_ms),
+        param_bytes: param_mb << 20,
+        grad_bytes: param_mb << 20,
+        in_act_bytes: act_mb << 20,
+        out_act_bytes: act_mb << 20,
+        workspace_bytes: 64 << 20,
+    }
+}
+
+/// A small fixed 2-GPU Mobius pipeline, fully deterministic: the executor
+/// is event-driven over simulated time and the solver (the only wall-clock
+/// lane) never runs.
+fn two_gpu_trace() -> String {
+    let stages = vec![
+        stage(10, 256, 64),
+        stage(12, 192, 64),
+        stage(8, 320, 64),
+        stage(11, 128, 64),
+    ];
+    let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2]);
+    let mapping = Mapping::sequential(stages.len(), topo.num_gpus());
+    let cfg = PipelineConfig::mobius(2, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth());
+    let obs = Obs::new();
+    simulate_step_traced(&stages, &mapping, &topo, &cfg, Some(&obs)).unwrap();
+    obs.chrome_trace_json()
+}
+
+#[test]
+fn golden_chrome_trace_2gpu() {
+    let got = two_gpu_trace();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_2gpu.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+    }
+    let expected = std::fs::read_to_string(path).expect("golden file present");
+    assert!(
+        got == expected,
+        "golden Chrome trace drifted (rerun with UPDATE_GOLDEN=1 to regenerate)"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_timing() {
+    let stages = vec![stage(10, 256, 64), stage(12, 192, 64), stage(8, 320, 64)];
+    let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
+    let mapping = Mapping::sequential(stages.len(), topo.num_gpus());
+    let cfg = PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth());
+    let plain = simulate_steps(&stages, &mapping, &topo, &cfg, 3).unwrap();
+    let obs = Obs::new();
+    let traced = simulate_steps_traced(&stages, &mapping, &topo, &cfg, 3, Some(&obs)).unwrap();
+    assert_eq!(plain.step_boundaries, traced.step_boundaries);
+    assert_eq!(plain.drain_time, traced.drain_time);
+    assert!(obs.event_count() > 0, "the observer must have recorded");
+}
+
+#[test]
+fn spans_cover_every_gpu_and_comm_kind() {
+    let obs = Obs::new();
+    let rep = FineTuner::new(GptConfig::gpt_15b())
+        .topology(Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]))
+        .system(System::Mobius)
+        .mip_budget_ms(150)
+        .observe(obs.clone())
+        .run_step()
+        .unwrap();
+    obs.with_events(|log| {
+        for g in 0..4 {
+            assert!(
+                log.events()
+                    .iter()
+                    .any(|e| e.lane == Lane::Gpu(g) && e.dur_ns.is_some()),
+                "no span on GPU lane {g}"
+            );
+        }
+        // Every traffic kind the run recorded shows up as a comm span.
+        for kind in rep.trace.traffic_by_kind().keys() {
+            assert!(
+                log.events()
+                    .iter()
+                    .any(|e| e.cat == "comm" && e.name == kind.label()),
+                "no span for CommKind {}",
+                kind.label()
+            );
+        }
+    });
+    let json = obs.chrome_trace_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The metrics registry's `bytes.<kind>` counters receive the exact
+    /// same `+=` sequence as the trace recorder's per-kind traffic map, so
+    /// the sums must be bit-identical for any pipeline.
+    #[test]
+    fn byte_counters_match_trace_traffic(
+        fwd in prop::collection::vec(5u64..20, 2..6),
+        microbatches in 1usize..5,
+    ) {
+        let stages: Vec<_> = fwd.iter().map(|&f| stage(f, 64 + f, 32)).collect();
+        let topo = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
+        let mapping = Mapping::sequential(stages.len(), topo.num_gpus());
+        let cfg = PipelineConfig::mobius(
+            microbatches,
+            topo.gpu_mem_bytes(),
+            topo.avg_gpu_bandwidth(),
+        );
+        let obs = Obs::new();
+        let sim = simulate_step_traced(&stages, &mapping, &topo, &cfg, Some(&obs)).unwrap();
+        for (kind, bytes) in sim.trace.traffic_by_kind() {
+            let counter = obs.counter(&format!("bytes.{}", kind.label()));
+            prop_assert_eq!(
+                counter.to_bits(),
+                bytes.to_bits(),
+                "counter for {} diverged: {} vs {}",
+                kind.label(),
+                counter,
+                bytes
+            );
+        }
+    }
+}

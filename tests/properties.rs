@@ -5,7 +5,9 @@ use proptest::prelude::*;
 
 use mobius_mapping::Mapping;
 use mobius_mip::{chain_partition_dp, SegmentObjective, SegmentSearch};
-use mobius_pipeline::{check_differential, evaluate_analytic, simulate_step, PipelineConfig, StageCosts};
+use mobius_pipeline::{
+    check_differential, evaluate_analytic, simulate_step, PipelineConfig, StageCosts,
+};
 use mobius_sim::{Cdf, FlowNetwork, IntervalSet, SimTime};
 use mobius_topology::{GpuSpec, Topology};
 
@@ -280,7 +282,11 @@ fn cdf_regression_seed_duplicate_bandwidths() {
         assert!(f >= last);
         last = f;
     }
-    assert_eq!(cdf.fraction_at(25.0), 1.0, "final point must be pinned to 1.0");
+    assert_eq!(
+        cdf.fraction_at(25.0),
+        1.0,
+        "final point must be pinned to 1.0"
+    );
     // Quantiles are well-defined across the whole probability range.
     assert_eq!(cdf.quantile(1.0), Some(4.639503578251093));
     assert_eq!(cdf.quantile(0.5), Some(0.1));
