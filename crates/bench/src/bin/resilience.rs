@@ -1,0 +1,27 @@
+//! Regenerates the resilience extension tables (fault-intensity sweep and
+//! GPU-loss elastic replan). Pass `--quick` for a reduced run, `--seed N`
+//! to reseed the fault draws, and `--json <path>` to also write the result
+//! as a JSON report.
+//!
+//! Deterministic: two runs with the same `--seed` produce byte-identical
+//! JSON (the determinism gate of `scripts/verify.sh`). Wall-clock replan
+//! latency goes to stderr only.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = match args.iter().position(|a| a == "--seed") {
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(s) => s,
+            None => {
+                eprintln!("error: flag `--seed` expects an integer");
+                std::process::exit(2);
+            }
+        },
+        None => 42,
+    };
+    let experiments = mobius_bench::experiments::resilience::run(quick, seed);
+    if let Err(msg) = mobius_bench::emit(&experiments) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

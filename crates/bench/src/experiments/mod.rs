@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod resilience;
 pub mod schedules;
 pub mod steady_state;
 pub mod table1;
@@ -26,7 +27,7 @@ use crate::Experiment;
 /// (shorter solver budgets, fewer training steps) and is what the test
 /// suite uses; the shapes asserted hold in both modes.
 pub fn run_all(quick: bool) -> Vec<Experiment> {
-    vec![
+    let mut all = vec![
         table1::run(),
         fig02::run(quick),
         fig04::run(quick),
@@ -46,5 +47,9 @@ pub fn run_all(quick: bool) -> Vec<Experiment> {
         baselines::run(quick),
         steady_state::run(quick),
         schedules::run(quick),
-    ]
+    ];
+    // Deterministic by construction (min-stage partition, fixed seed) —
+    // see the module docs of `resilience`.
+    all.extend(resilience::run(quick, 42));
+    all
 }

@@ -16,19 +16,65 @@
 use std::process::ExitCode;
 
 use mobius::obs::Obs;
-use mobius::{FineTuner, RunError, System};
+use mobius::sim::{FaultSchedule, SimTime};
+use mobius::{FineTuner, ResiliencePolicy, RunError, System};
 use mobius_model::{GptConfig, Model};
 use mobius_pipeline::{evaluate_analytic, render_gantt, MemoryMode, PipelineConfig};
 use mobius_topology::{GpuSpec, Topology};
+
+/// What went wrong, classed for the exit code: bad usage exits 2, OOM 3,
+/// scheduling errors 4, unrecovered faults 5, anything else 1.
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself is wrong (unknown flag, bad value).
+    Usage(String),
+    /// A typed error from the library.
+    Run(RunError),
+    /// I/O and other environmental failures.
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Run(RunError::OutOfMemory(_)) => 3,
+            CliError::Run(RunError::Schedule(_)) => 4,
+            CliError::Run(RunError::Fault(_)) => 5,
+            CliError::Run(_) | CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Other(msg) => write!(f, "{msg}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        CliError::Run(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -38,11 +84,17 @@ usage:
   mobius-cli plan    --model <3b|8b|15b|51b|llama7b|llama13b> --topo <GROUPS|dc> [--mbs N] [--microbatches M]
   mobius-cli step    --model <..> --topo <..> --system <mobius|gpipe|ds-pipe|ds-hetero|zero-offload>
                      [--trace-out FILE] [--metrics-out FILE] [--timeline]
+                     [--faults SPEC] [--seed N] [--recover]
   mobius-cli report  --model <..> --topo <..> --system <..>
   mobius-cli compare --model <..> --topo <..>
 topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
 add --strict to re-check every schedule and trace against the paper's constraints
---trace-out writes a Chrome trace-event JSON (open in Perfetto or chrome://tracing)";
+--trace-out writes a Chrome trace-event JSON (open in Perfetto or chrome://tracing)
+--faults injects a deterministic fault schedule; SPEC is comma-separated
+  clauses (times in ms): degrade:<link>:<factor>:<t0>:<t1>  slow:<gpu>:<factor>:<t0>:<t1>
+  stall:<t>:<dur>  gpufail:<gpu>:<t>  random:<n>   (--seed resolves random:<n>)
+--recover enables elastic replan + the OOM degradation ladder
+exit codes: 0 ok, 1 other, 2 usage, 3 OOM, 4 scheduling, 5 unrecovered fault";
 
 /// Flags that consume the following token as their value.
 const VALUE_FLAGS: &[&str] = &[
@@ -53,51 +105,69 @@ const VALUE_FLAGS: &[&str] = &[
     "--system",
     "--trace-out",
     "--metrics-out",
+    "--faults",
+    "--seed",
 ];
 
 /// Flags that stand alone.
-const BOOL_FLAGS: &[&str] = &["--strict", "--strict-validation", "--timeline"];
+const BOOL_FLAGS: &[&str] = &["--strict", "--strict-validation", "--timeline", "--recover"];
+
+/// Horizon over which `random:<n>` fault clauses are spread. Generous
+/// enough to cover any single simulated step of the Table 3 models.
+const FAULT_HORIZON: SimTime = SimTime::from_secs(10);
 
 /// Rejects anything that is not a known flag. A silently ignored typo like
 /// `--sttrict` would otherwise run without validation while the user
 /// believes it is on.
-fn validate_flags(args: &[String]) -> Result<(), String> {
+fn validate_flags(args: &[String]) -> Result<(), CliError> {
     let mut i = 1; // args[0] is the subcommand
     while i < args.len() {
         let a = args[i].as_str();
         if VALUE_FLAGS.contains(&a) {
             match args.get(i + 1) {
                 Some(v) if !v.starts_with("--") => i += 2,
-                _ => return Err(format!("flag `{a}` expects a value")),
+                _ => return Err(usage(format!("flag `{a}` expects a value"))),
             }
         } else if BOOL_FLAGS.contains(&a) {
             i += 1;
         } else if a.starts_with("--") {
-            return Err(format!("unknown flag `{a}`"));
+            return Err(usage(format!("unknown flag `{a}`")));
         } else {
-            return Err(format!("unexpected argument `{a}`"));
+            return Err(usage(format!("unexpected argument `{a}`")));
         }
     }
     Ok(())
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing command")?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let cmd = args.first().ok_or_else(|| usage("missing command"))?;
     validate_flags(args)?;
     let model = parse_model(&flag(args, "--model").unwrap_or_else(|| "15b".into()))?;
     let topo = parse_topo(&flag(args, "--topo").unwrap_or_else(|| "2+2".into()))?;
     let mut tuner = FineTuner::from_model(model).topology(topo.clone());
     if let Some(mbs) = flag(args, "--mbs") {
-        tuner = tuner.microbatch_size(mbs.parse().map_err(|_| "bad --mbs")?);
+        tuner = tuner.microbatch_size(mbs.parse().map_err(|_| usage("bad --mbs"))?);
     }
     if let Some(m) = flag(args, "--microbatches") {
-        tuner = tuner.num_microbatches(m.parse().map_err(|_| "bad --microbatches")?);
+        tuner = tuner.num_microbatches(m.parse().map_err(|_| usage("bad --microbatches"))?);
     }
     if args
         .iter()
         .any(|a| a == "--strict" || a == "--strict-validation")
     {
         tuner = tuner.strict_validation(true);
+    }
+    if let Some(spec) = flag(args, "--faults") {
+        let seed: u64 = flag(args, "--seed")
+            .map(|s| s.parse().map_err(|_| usage("bad --seed")))
+            .transpose()?
+            .unwrap_or(0);
+        let schedule = FaultSchedule::parse(&spec, seed, topo.num_gpus(), FAULT_HORIZON)
+            .map_err(|e| usage(format!("bad --faults: {e}")))?;
+        tuner = tuner.faults(schedule);
+    }
+    if args.iter().any(|a| a == "--recover") {
+        tuner = tuner.resilience(ResiliencePolicy::recover());
     }
     match cmd.as_str() {
         "plan" => plan(tuner, &topo),
@@ -116,7 +186,7 @@ fn run(args: &[String]) -> Result<(), String> {
             report(tuner.system(system))
         }
         "compare" => compare(tuner),
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -127,7 +197,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn parse_model(s: &str) -> Result<Model, String> {
+fn parse_model(s: &str) -> Result<Model, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "3b" => Ok(Model::from_config(&GptConfig::gpt_3b())),
         "8b" => Ok(Model::from_config(&GptConfig::gpt_8b())),
@@ -136,13 +206,13 @@ fn parse_model(s: &str) -> Result<Model, String> {
         "gpt2" => Ok(Model::from_config(&GptConfig::gpt2_small())),
         "llama7b" => Ok(Model::llama2_7b()),
         "llama13b" => Ok(Model::llama2_13b()),
-        other => Err(format!(
+        other => Err(usage(format!(
             "unknown model `{other}` (try 3b/8b/15b/51b/llama7b/llama13b)"
-        )),
+        ))),
     }
 }
 
-fn parse_topo(s: &str) -> Result<Topology, String> {
+fn parse_topo(s: &str) -> Result<Topology, CliError> {
     if s.eq_ignore_ascii_case("dc") {
         return Ok(Topology::data_center(GpuSpec::v100(), 4));
     }
@@ -151,23 +221,25 @@ fn parse_topo(s: &str) -> Result<Topology, String> {
         Ok(g) if !g.is_empty() && g.iter().all(|&x| x > 0) => {
             Ok(Topology::commodity(GpuSpec::rtx3090ti(), &g))
         }
-        _ => Err(format!("bad topology `{s}` (try 2+2, 1+3, 4, 4+4 or dc)")),
+        _ => Err(usage(format!(
+            "bad topology `{s}` (try 2+2, 1+3, 4, 4+4 or dc)"
+        ))),
     }
 }
 
-fn parse_system(s: &str) -> Result<System, String> {
+fn parse_system(s: &str) -> Result<System, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "mobius" => Ok(System::Mobius),
         "gpipe" => Ok(System::Gpipe),
         "ds-pipe" | "deepspeed-pipeline" => Ok(System::DeepSpeedPipeline),
         "ds-hetero" | "deepspeed" | "deepspeed-hetero" => Ok(System::DeepSpeedHetero),
         "zero-offload" | "offload" => Ok(System::ZeroOffload),
-        other => Err(format!("unknown system `{other}`")),
+        other => Err(usage(format!("unknown system `{other}`"))),
     }
 }
 
-fn plan(tuner: FineTuner, topo: &Topology) -> Result<(), String> {
-    let plan = tuner.plan().map_err(|e| e.to_string())?;
+fn plan(tuner: FineTuner, topo: &Topology) -> Result<(), CliError> {
+    let plan = tuner.plan()?;
     println!(
         "{} stages over {} GPUs ({}), contention degree {:.1}",
         plan.partition.num_stages(),
@@ -191,7 +263,8 @@ fn plan(tuner: FineTuner, topo: &Topology) -> Result<(), String> {
             topo.avg_gpu_bandwidth(),
         )
     };
-    let sch = evaluate_analytic(&plan.stages, &plan.mapping, &cfg).map_err(|e| e.to_string())?;
+    let sch = evaluate_analytic(&plan.stages, &plan.mapping, &cfg)
+        .map_err(|e| CliError::Run(e.into()))?;
     println!("\ntimeline (digits = forward stage, letters = backward):");
     print!("{}", render_gantt(&sch, &plan.stages, &plan.mapping, 100));
     Ok(())
@@ -202,72 +275,72 @@ fn step(
     timeline: bool,
     trace_out: Option<&str>,
     metrics_out: Option<&str>,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let obs = Obs::new();
     let tuner = if trace_out.is_some() || metrics_out.is_some() {
         tuner.observe(obs.clone())
     } else {
         tuner
     };
-    match tuner.run_step() {
-        Ok(r) => {
-            println!(
-                "{}: step {}  drain {}  traffic {:.1} GB ({:.1}x fp16 model)  \
-                 non-overlapped {:.0}%  ${:.4}/step",
-                r.system.label(),
-                r.step_time,
-                r.drain_time,
-                r.traffic_total() / 1e9,
-                r.traffic_ratio(),
-                r.non_overlapped_fraction() * 100.0,
-                r.price_usd,
-            );
-            if timeline {
-                println!("\nmeasured timeline ('#' compute, '=' communication):");
-                print!("{}", r.trace.render_timeline(r.drain_time, 100));
-            }
-            if let Some(path) = trace_out {
-                std::fs::write(path, obs.chrome_trace_json())
-                    .map_err(|e| format!("writing {path}: {e}"))?;
-                println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
-            }
-            if let Some(path) = metrics_out {
-                std::fs::write(path, obs.metrics_json())
-                    .map_err(|e| format!("writing {path}: {e}"))?;
-                println!("wrote metrics to {path}");
-            }
-            Ok(())
-        }
-        Err(RunError::OutOfMemory(e)) => {
-            println!("OOM: {e}");
-            Ok(())
-        }
-        Err(e) => Err(e.to_string()),
+    let r = tuner.run_step()?;
+    println!(
+        "{}: step {}  drain {}  traffic {:.1} GB ({:.1}x fp16 model)  \
+         non-overlapped {:.0}%  ${:.4}/step",
+        r.system.label(),
+        r.step_time,
+        r.drain_time,
+        r.traffic_total() / 1e9,
+        r.traffic_ratio(),
+        r.non_overlapped_fraction() * 100.0,
+        r.price_usd,
+    );
+    if r.faults.injected > 0 {
+        println!(
+            "faults: {} injected ({} degrades, {} stragglers, {} stalls, {} GPU failures), \
+             {} retries, {} aborted transfers",
+            r.faults.injected,
+            r.faults.link_degrades,
+            r.faults.slowdowns,
+            r.faults.stalls,
+            r.faults.gpu_failures,
+            r.faults.retries,
+            r.faults.aborted_transfers,
+        );
     }
+    for d in &r.degradations {
+        println!("recovery: {d}");
+    }
+    if timeline {
+        println!("\nmeasured timeline ('#' compute, '=' communication):");
+        print!("{}", r.trace.render_timeline(r.drain_time, 100));
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs.chrome_trace_json())
+            .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
+        println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, obs.metrics_json())
+            .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
+        println!("wrote metrics to {path}");
+    }
+    Ok(())
 }
 
-fn report(tuner: FineTuner) -> Result<(), String> {
+fn report(tuner: FineTuner) -> Result<(), CliError> {
     let obs = Obs::new();
-    match tuner.observe(obs.clone()).run_step() {
-        Ok(r) => {
-            println!(
-                "{}: step {}  drain {}",
-                r.system.label(),
-                r.step_time,
-                r.drain_time
-            );
-            print!("{}", obs.metrics_text());
-            Ok(())
-        }
-        Err(RunError::OutOfMemory(e)) => {
-            println!("OOM: {e}");
-            Ok(())
-        }
-        Err(e) => Err(e.to_string()),
-    }
+    let r = tuner.observe(obs.clone()).run_step()?;
+    println!(
+        "{}: step {}  drain {}",
+        r.system.label(),
+        r.step_time,
+        r.drain_time
+    );
+    print!("{}", obs.metrics_text());
+    Ok(())
 }
 
-fn compare(tuner: FineTuner) -> Result<(), String> {
+fn compare(tuner: FineTuner) -> Result<(), CliError> {
     println!(
         "{:<20} {:>10} {:>12} {:>10}",
         "system", "step", "traffic", "$/step"
@@ -287,10 +360,11 @@ fn compare(tuner: FineTuner) -> Result<(), String> {
                 r.traffic_total() / 1e9,
                 r.price_usd,
             ),
+            // compare is a survey: an OOM cell is a result, not a failure.
             Err(RunError::OutOfMemory(_)) => {
                 println!("{:<20} {:>10}", system.label(), "OOM")
             }
-            Err(e) => return Err(e.to_string()),
+            Err(e) => return Err(e.into()),
         }
     }
     Ok(())
@@ -349,24 +423,24 @@ mod tests {
         // A typo like `--sttrict` must error out, not silently run
         // without validation.
         let err = run(&argv(&["step", "--sttrict"])).unwrap_err();
-        assert!(err.contains("--sttrict"), "{err}");
+        assert!(err.to_string().contains("--sttrict"), "{err}");
         let err = run(&argv(&["plan", "--modle", "8b"])).unwrap_err();
-        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.to_string().contains("unknown flag"), "{err}");
     }
 
     #[test]
     fn stray_positional_arguments_are_rejected() {
         let err = run(&argv(&["step", "extra"])).unwrap_err();
-        assert!(err.contains("unexpected argument"), "{err}");
+        assert!(err.to_string().contains("unexpected argument"), "{err}");
     }
 
     #[test]
     fn value_flags_require_a_value() {
         let err = run(&argv(&["step", "--model"])).unwrap_err();
-        assert!(err.contains("expects a value"), "{err}");
+        assert!(err.to_string().contains("expects a value"), "{err}");
         // A following flag does not count as the value.
         let err = run(&argv(&["step", "--model", "--strict"])).unwrap_err();
-        assert!(err.contains("expects a value"), "{err}");
+        assert!(err.to_string().contains("expects a value"), "{err}");
     }
 
     #[test]
@@ -384,7 +458,80 @@ mod tests {
             "/tmp/t.json",
             "--metrics-out",
             "/tmp/m.json",
+            "--faults",
+            "random:2",
+            "--seed",
+            "7",
+            "--recover",
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        use mobius::sim::FaultAbort;
+        use mobius_pipeline::ScheduleError;
+
+        assert_eq!(usage("x").exit_code(), 2);
+        let oom: RunError = ScheduleError::StageTooLarge {
+            stage: 0,
+            required: 2,
+            capacity: 1,
+        }
+        .into();
+        assert_eq!(CliError::Run(oom).exit_code(), 3);
+        let sched: RunError = ScheduleError::MappingMismatch {
+            mapped: 1,
+            stages: 2,
+        }
+        .into();
+        assert_eq!(CliError::Run(sched).exit_code(), 4);
+        let fault: RunError = FaultAbort::GpuFailed {
+            gpu: 0,
+            at: SimTime::from_millis(1),
+        }
+        .into();
+        assert_eq!(CliError::Run(fault).exit_code(), 5);
+        assert_eq!(CliError::Other("io".into()).exit_code(), 1);
+        assert_eq!(
+            CliError::Run(RunError::Unsupported("x".into())).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn bad_fault_specs_are_usage_errors() {
+        let err = run(&argv(&["step", "--faults", "explode:3"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("bad --faults"), "{err}");
+        let err = run(&argv(&["step", "--faults", "random:2", "--seed", "pi"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn gpu_failure_without_recovery_is_a_fault_error() {
+        // Small model so the step is quick; GPU 1 dies 5 ms in.
+        let err = run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--faults",
+            "gpufail:1:5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+    }
+
+    #[test]
+    fn gpu_failure_with_recovery_completes() {
+        let args = argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--faults",
+            "gpufail:1:5",
+            "--recover",
+        ]);
+        run(&args).unwrap();
     }
 }

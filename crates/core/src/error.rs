@@ -4,36 +4,84 @@ use std::error::Error;
 use std::fmt;
 
 use mobius_pipeline::ScheduleError;
+use mobius_sim::FaultAbort;
 use mobius_zero::ZeroError;
+
+/// Why a configuration ran out of GPU memory. Keeps the underlying typed
+/// error (no string flattening), so callers can still see *which* stage or
+/// layer overflowed and by how much.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OomCause {
+    /// A pipeline stage cannot fit ([`ScheduleError::StageTooLarge`], the
+    /// GPipe/Mobius OOM mode).
+    Schedule(ScheduleError),
+    /// A ZeRO shard or layer cannot fit ([`ZeroError`]).
+    Zero(ZeroError),
+}
+
+impl fmt::Display for OomCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OomCause::Schedule(e) => write!(f, "{e}"),
+            OomCause::Zero(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for OomCause {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OomCause::Schedule(e) => Some(e),
+            OomCause::Zero(e) => Some(e),
+        }
+    }
+}
 
 /// Anything that can go wrong planning or running a training step.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RunError {
     /// The model cannot fit under the system's memory regime (the "OOM"
-    /// entries of Figure 5).
-    OutOfMemory(String),
+    /// entries of Figure 5). The cause keeps the underlying typed error.
+    OutOfMemory(OomCause),
     /// An internal scheduling inconsistency (mapping mismatch etc.).
     Schedule(ScheduleError),
     /// The requested operation does not apply to the selected system.
     Unsupported(String),
+    /// An injected hardware fault aborted the run and no recovery policy
+    /// (or no surviving configuration) could absorb it.
+    Fault(FaultAbort),
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::OutOfMemory(what) => write!(f, "out of GPU memory: {what}"),
+            RunError::OutOfMemory(cause) => write!(f, "out of GPU memory: {cause}"),
             RunError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             RunError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            // Also shown as a `Degradation` cause after a successful
+            // recovery, so the wording must not presume the outcome.
+            RunError::Fault(abort) => write!(f, "injected fault: {abort}"),
         }
     }
 }
 
-impl Error for RunError {}
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::OutOfMemory(cause) => Some(cause),
+            RunError::Schedule(e) => Some(e),
+            RunError::Unsupported(_) => None,
+            RunError::Fault(abort) => Some(abort),
+        }
+    }
+}
 
 impl From<ScheduleError> for RunError {
     fn from(e: ScheduleError) -> Self {
         match e {
-            ScheduleError::StageTooLarge { .. } => RunError::OutOfMemory(e.to_string()),
+            ScheduleError::StageTooLarge { .. } => RunError::OutOfMemory(OomCause::Schedule(e)),
             other => RunError::Schedule(other),
         }
     }
@@ -41,13 +89,20 @@ impl From<ScheduleError> for RunError {
 
 impl From<ZeroError> for RunError {
     fn from(e: ZeroError) -> Self {
-        RunError::OutOfMemory(e.to_string())
+        RunError::OutOfMemory(OomCause::Zero(e))
+    }
+}
+
+impl From<FaultAbort> for RunError {
+    fn from(a: FaultAbort) -> Self {
+        RunError::Fault(a)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mobius_sim::SimTime;
 
     #[test]
     fn stage_too_large_becomes_oom() {
@@ -69,5 +124,41 @@ mod tests {
         }
         .into();
         assert!(matches!(e, RunError::Schedule(_)));
+    }
+
+    #[test]
+    fn oom_keeps_the_typed_cause() {
+        let inner = ScheduleError::StageTooLarge {
+            stage: 3,
+            required: 200,
+            capacity: 50,
+        };
+        let e: RunError = inner.clone().into();
+        match &e {
+            RunError::OutOfMemory(OomCause::Schedule(s)) => assert_eq!(s, &inner),
+            other => panic!("expected typed schedule cause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_chain_reaches_the_root_cause() {
+        let e: RunError = ScheduleError::StageTooLarge {
+            stage: 0,
+            required: 2,
+            capacity: 1,
+        }
+        .into();
+        let cause = e.source().expect("OOM has a cause");
+        assert!(cause.is::<OomCause>());
+        let root = cause.source().expect("cause has a root");
+        assert!(root.is::<ScheduleError>());
+
+        let f: RunError = FaultAbort::GpuFailed {
+            gpu: 1,
+            at: SimTime::from_millis(3),
+        }
+        .into();
+        assert!(f.source().expect("fault has a source").is::<FaultAbort>());
+        assert!(RunError::Unsupported("x".into()).source().is_none());
     }
 }

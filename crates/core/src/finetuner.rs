@@ -7,17 +7,19 @@ use mobius_mapping::{Mapping, MappingAlgo};
 use mobius_model::{GptConfig, Model};
 use mobius_obs::{AttrValue, Lane, Obs};
 use mobius_pipeline::{
-    partition_model, plan_gpipe, simulate_step_traced, simulate_steps_traced, stage_costs,
-    MemoryMode, MultiStepReport, Partition, PartitionAlgo, PipelineConfig, StageCosts,
+    partition_model, plan_gpipe, simulate_step_traced, simulate_steps_faulted,
+    simulate_steps_traced, stage_costs, ExecError, MemoryMode, MultiStepReport, Partition,
+    PartitionAlgo, PipelineConfig, StageCosts,
 };
 use mobius_profiler::{ModelProfile, Profiler};
-use mobius_sim::{Cdf, SimTime, TraceRecorder};
+use mobius_sim::{Cdf, FaultAbort, FaultSchedule, FaultStats, SimTime, TraceRecorder};
 use mobius_topology::Topology;
 use mobius_zero::{
     simulate_zero_offload_step_traced, simulate_zero_step_traced, ZeroConfig, DS_PIPELINE_OVERHEAD,
 };
 use serde::{Deserialize, Serialize};
 
+use crate::resilience::{Degradation, DegradeAction, ResiliencePolicy};
 use crate::{pricing, RunError};
 
 /// Which training system to run (the four bars of Figure 5).
@@ -96,6 +98,12 @@ pub struct StepReport {
     pub price_usd: f64,
     /// FP16 parameter bytes of the model (the "model size" reference).
     pub model_size_bytes: u64,
+    /// Fault-injection accounting, summed over every attempt of the step
+    /// (aborted attempts included). All zeros when no schedule is attached.
+    pub faults: FaultStats,
+    /// Recovery steps the [`ResiliencePolicy`] took to complete this step,
+    /// in the order taken. Empty when the step ran as configured.
+    pub degradations: Vec<Degradation>,
 }
 
 impl StepReport {
@@ -154,6 +162,8 @@ pub struct FineTuner {
     prioritized_loads: bool,
     strict_validation: bool,
     obs: Option<Obs>,
+    faults: Option<FaultSchedule>,
+    resilience: ResiliencePolicy,
 }
 
 impl FineTuner {
@@ -181,6 +191,8 @@ impl FineTuner {
             prioritized_loads: true,
             strict_validation: false,
             obs: None,
+            faults: None,
+            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -264,6 +276,23 @@ impl FineTuner {
         self
     }
 
+    /// Attaches a deterministic fault schedule. Pipeline systems (Mobius,
+    /// GPipe, DeepSpeed-pipeline) replay it during simulation; an empty
+    /// schedule behaves exactly as no schedule at all (bit-identical
+    /// results). ZeRO systems reject non-empty schedules with
+    /// [`RunError::Unsupported`].
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
+    /// Sets the recovery policy applied when a faulted or infeasible step
+    /// fails (default: recover nothing — errors surface typed).
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
     /// The effective microbatch size.
     pub fn mbs(&self) -> usize {
         self.microbatch_size
@@ -272,7 +301,18 @@ impl FineTuner {
 
     /// The effective number of microbatches per step.
     pub fn microbatches(&self) -> usize {
-        self.num_microbatches.unwrap_or(self.topo.num_gpus())
+        self.microbatches_on(&self.topo)
+    }
+
+    fn microbatches_on(&self, topo: &Topology) -> usize {
+        self.num_microbatches.unwrap_or(topo.num_gpus())
+    }
+
+    /// The attached fault schedule, if any and non-empty. An empty schedule
+    /// is treated exactly as none so that attaching one cannot perturb an
+    /// unfaulted run.
+    fn active_faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref().filter(|f| !f.is_empty())
     }
 
     fn profiler(&self) -> Profiler {
@@ -289,15 +329,19 @@ impl FineTuner {
     }
 
     fn pipeline_cfg(&self, mode: MemoryMode) -> PipelineConfig {
+        self.pipeline_cfg_on(&self.topo, mode)
+    }
+
+    fn pipeline_cfg_on(&self, topo: &Topology, mode: MemoryMode) -> PipelineConfig {
         PipelineConfig {
             memory_mode: mode,
             prefetch: self.prefetch,
             prioritized_loads: self.prioritized_loads,
             strict_validation: self.strict_validation,
             ..PipelineConfig::mobius(
-                self.microbatches(),
-                self.topo.gpu_mem_bytes(),
-                self.topo.avg_gpu_bandwidth(),
+                self.microbatches_on(topo),
+                topo.gpu_mem_bytes(),
+                topo.avg_gpu_bandwidth(),
             )
         }
     }
@@ -308,12 +352,18 @@ impl FineTuner {
     ///
     /// Returns [`RunError::OutOfMemory`] when no feasible partition exists.
     pub fn plan(&self) -> Result<Plan, RunError> {
+        self.plan_on(&self.topo, self.partition_algo)
+    }
+
+    /// [`FineTuner::plan`] generalised over the topology and partition
+    /// algorithm — the elastic-replan and degradation-ladder entry point.
+    fn plan_on(&self, topo: &Topology, algo: PartitionAlgo) -> Result<Plan, RunError> {
         let (model, profile) = self.profile();
-        let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
-        let n = self.topo.num_gpus();
+        let cfg = self.pipeline_cfg_on(topo, MemoryMode::Heterogeneous);
+        let n = topo.num_gpus();
 
         let solve_started = Instant::now();
-        let outcome = match self.partition_algo {
+        let outcome = match algo {
             PartitionAlgo::Mip => mobius_pipeline::mip_partition_traced(
                 &profile,
                 n,
@@ -326,15 +376,11 @@ impl FineTuner {
         let mip_solve_secs = solve_started.elapsed().as_secs_f64();
 
         let map_started = Instant::now();
-        let mapping = Mapping::with_algo(
-            self.mapping_algo,
-            &self.topo,
-            outcome.partition.num_stages(),
-        );
+        let mapping = Mapping::with_algo(self.mapping_algo, topo, outcome.partition.num_stages());
         let cross_map_secs = map_started.elapsed().as_secs_f64();
 
         let stages = stage_costs(&profile, &outcome.partition);
-        let contention_degree = mapping.contention_degree(&self.topo);
+        let contention_degree = mapping.contention_degree(topo);
         if let Some(obs) = &self.obs {
             obs.mark(
                 Lane::Run,
@@ -372,22 +418,13 @@ impl FineTuner {
     /// # Errors
     ///
     /// Returns [`RunError::OutOfMemory`] for configurations the system
-    /// cannot train (the OOM entries of Figure 5).
+    /// cannot train (the OOM entries of Figure 5) and [`RunError::Fault`]
+    /// when an attached [`FaultSchedule`] kills the step and the
+    /// [`ResiliencePolicy`] cannot (or may not) recover it.
     pub fn run_step(&self) -> Result<StepReport, RunError> {
         let model_size = self.model.model_size_bytes();
         match self.system {
-            System::Mobius => {
-                let plan = self.plan()?;
-                let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
-                let sim = simulate_step_traced(
-                    &plan.stages,
-                    &plan.mapping,
-                    &self.topo,
-                    &cfg,
-                    self.obs.as_ref(),
-                )?;
-                Ok(self.report(sim.step_time, sim.drain_time, sim.trace, model_size))
-            }
+            System::Mobius => self.run_mobius_step(model_size),
             System::Gpipe | System::DeepSpeedPipeline => {
                 let (_, profile) = self.profile();
                 let cfg = self.pipeline_cfg(MemoryMode::Resident);
@@ -396,8 +433,20 @@ impl FineTuner {
                 let stages = stage_costs(&profile, &plan.partition);
                 let mapping =
                     Mapping::sequential(plan.partition.num_stages(), self.topo.num_gpus());
-                let sim =
-                    simulate_step_traced(&stages, &mapping, &self.topo, &cfg, self.obs.as_ref())?;
+                let sim = match self.active_faults() {
+                    // No recovery here: GPipe has no swap machinery to
+                    // replan around, so aborts surface typed.
+                    Some(faults) => self
+                        .pipeline_attempt(&stages, &mapping, &self.topo, &cfg, faults)
+                        .map_err(|e| match e {
+                            AttemptError::Run(e) => e,
+                            AttemptError::Fault { abort, .. } => RunError::Fault(abort),
+                        })?,
+                    None => {
+                        simulate_step_traced(&stages, &mapping, &self.topo, &cfg, self.obs.as_ref())
+                            .map(MobiusSim::from)?
+                    }
+                };
                 let factor = if self.system == System::DeepSpeedPipeline {
                     DS_PIPELINE_OVERHEAD
                 } else {
@@ -405,24 +454,158 @@ impl FineTuner {
                 };
                 let step = SimTime::from_secs_f64(sim.step_time.as_secs_f64() * factor);
                 let drain = SimTime::from_secs_f64(sim.drain_time.as_secs_f64() * factor);
-                Ok(self.report(step, drain, sim.trace, model_size))
+                let mut rep = self.report(step, drain, sim.trace, model_size);
+                rep.faults = sim.faults;
+                Ok(rep)
             }
             System::DeepSpeedHetero => {
-                let (_, profile) = self.profile();
-                let zero_cfg = ZeroConfig {
-                    strict_validation: self.strict_validation,
-                    ..ZeroConfig::default()
-                };
-                let rep =
-                    simulate_zero_step_traced(&profile, &self.topo, &zero_cfg, self.obs.as_ref())?;
-                Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
+                self.reject_faults()?;
+                self.zero_hetero_step(&self.topo, model_size)
             }
             System::ZeroOffload => {
+                self.reject_faults()?;
                 let (_, profile) = self.profile();
                 let rep =
                     simulate_zero_offload_step_traced(&profile, &self.topo, self.obs.as_ref())?;
                 Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
             }
+        }
+    }
+
+    /// The Mobius step with fault injection and recovery: run → on GPU
+    /// failure, replan on the surviving topology → on OOM, walk the
+    /// degradation ladder (more stages, then ZeRO-hetero). Every recovery
+    /// step is recorded in the report's `degradations`.
+    fn run_mobius_step(&self, model_size: u64) -> Result<StepReport, RunError> {
+        let mut degradations: Vec<Degradation> = Vec::new();
+        let mut carried = FaultStats::default();
+        let mut topo = self.topo.clone();
+        let mut faults = self.faults.clone().unwrap_or_default();
+        let mut algo = self.partition_algo;
+
+        loop {
+            let attempt = self
+                .plan_on(&topo, algo)
+                .map_err(AttemptError::Run)
+                .and_then(|plan| {
+                    let cfg = self.pipeline_cfg_on(&topo, MemoryMode::Heterogeneous);
+                    self.pipeline_attempt(&plan.stages, &plan.mapping, &topo, &cfg, &faults)
+                });
+            match attempt {
+                Ok(sim) => {
+                    carried.absorb(&sim.faults);
+                    let mut rep = self.report(sim.step_time, sim.drain_time, sim.trace, model_size);
+                    rep.faults = carried;
+                    rep.degradations = degradations;
+                    return Ok(rep);
+                }
+                Err(AttemptError::Fault { abort, stats }) => {
+                    carried.absorb(&stats);
+                    let FaultAbort::GpuFailed { gpu, at } = abort else {
+                        // Exhausted retries have already consumed their
+                        // budget; there is nothing sensible to replan.
+                        return Err(RunError::Fault(abort));
+                    };
+                    if !self.resilience.elastic_replan {
+                        return Err(RunError::Fault(abort));
+                    }
+                    let Some(survivor) = topo.without_gpu(gpu) else {
+                        return Err(RunError::Fault(abort));
+                    };
+                    if let Some(obs) = &self.obs {
+                        obs.counter_add("fault.replans", 1.0);
+                    }
+                    degradations.push(Degradation {
+                        action: DegradeAction::ElasticReplan {
+                            failed_gpu: gpu,
+                            at,
+                            surviving_gpus: survivor.num_gpus(),
+                        },
+                        cause: RunError::Fault(abort),
+                    });
+                    topo = survivor;
+                    // GPU indices renumber on the survivor; only
+                    // link-addressed faults still mean what they said.
+                    faults = faults.link_faults_only();
+                }
+                Err(AttemptError::Run(err @ RunError::OutOfMemory(_)))
+                    if self.resilience.degrade_ladder =>
+                {
+                    if algo != PartitionAlgo::MaxStage {
+                        degradations.push(Degradation {
+                            action: DegradeAction::MoreStages {
+                                algo: PartitionAlgo::MaxStage,
+                            },
+                            cause: err,
+                        });
+                        algo = PartitionAlgo::MaxStage;
+                    } else {
+                        degradations.push(Degradation {
+                            action: DegradeAction::ZeroHetero,
+                            cause: err,
+                        });
+                        if let Some(obs) = &self.obs {
+                            obs.counter_add("fault.degraded_to_zero", 1.0);
+                        }
+                        let mut rep = self.zero_hetero_step(&topo, model_size)?;
+                        rep.faults = carried;
+                        rep.degradations = degradations;
+                        return Ok(rep);
+                    }
+                }
+                Err(AttemptError::Run(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// One pipeline simulation attempt. With a non-empty schedule the
+    /// faulted executor runs and aborts surface with their accounting;
+    /// otherwise this is exactly the unfaulted single-step path.
+    fn pipeline_attempt(
+        &self,
+        stages: &[StageCosts],
+        mapping: &Mapping,
+        topo: &Topology,
+        cfg: &PipelineConfig,
+        faults: &FaultSchedule,
+    ) -> Result<MobiusSim, AttemptError> {
+        if faults.is_empty() {
+            return simulate_step_traced(stages, mapping, topo, cfg, self.obs.as_ref())
+                .map(MobiusSim::from)
+                .map_err(|e| AttemptError::Run(e.into()));
+        }
+        match simulate_steps_faulted(stages, mapping, topo, cfg, 1, faults, self.obs.as_ref()) {
+            Ok(multi) => Ok(MobiusSim {
+                step_time: multi.step_boundaries[0],
+                drain_time: multi.drain_time,
+                trace: multi.trace,
+                faults: multi.faults,
+            }),
+            Err(ExecError::Schedule(e)) => Err(AttemptError::Run(e.into())),
+            Err(ExecError::Fault { abort, stats }) => Err(AttemptError::Fault { abort, stats }),
+        }
+    }
+
+    /// The ZeRO-hetero step on an arbitrary topology (also the last rung
+    /// of the degradation ladder). Fault injection does not apply: the
+    /// fault subsystem drives the pipeline executor.
+    fn zero_hetero_step(&self, topo: &Topology, model_size: u64) -> Result<StepReport, RunError> {
+        let (_, profile) = self.profile();
+        let zero_cfg = ZeroConfig {
+            strict_validation: self.strict_validation,
+            ..ZeroConfig::default()
+        };
+        let rep = simulate_zero_step_traced(&profile, topo, &zero_cfg, self.obs.as_ref())?;
+        Ok(self.report(rep.step_time, rep.step_time, rep.trace, model_size))
+    }
+
+    fn reject_faults(&self) -> Result<(), RunError> {
+        match self.active_faults() {
+            Some(_) => Err(RunError::Unsupported(format!(
+                "fault injection drives the pipeline executor; {} does not replay a schedule",
+                self.system.label()
+            ))),
+            None => Ok(()),
         }
     }
 
@@ -447,21 +630,17 @@ impl FineTuner {
     /// # Errors
     ///
     /// Returns [`RunError::OutOfMemory`] when the system cannot hold the
-    /// model, and [`RunError::Unsupported`] for the ZeRO systems, whose
-    /// steps are independent (use [`FineTuner::run_step`] instead).
+    /// model, [`RunError::Unsupported`] for the ZeRO systems, whose
+    /// steps are independent (use [`FineTuner::run_step`] instead), and
+    /// [`RunError::Fault`] when an attached schedule aborts the run
+    /// (multi-step runs never replan — recovery is per-step, see
+    /// [`FineTuner::run_step`]).
     pub fn run_steps(&self, k: usize) -> Result<MultiStepReport, RunError> {
         match self.system {
             System::Mobius => {
                 let plan = self.plan()?;
                 let cfg = self.pipeline_cfg(MemoryMode::Heterogeneous);
-                Ok(simulate_steps_traced(
-                    &plan.stages,
-                    &plan.mapping,
-                    &self.topo,
-                    &cfg,
-                    k,
-                    self.obs.as_ref(),
-                )?)
+                self.steps_sim(&plan.stages, &plan.mapping, &cfg, k)
             }
             System::Gpipe | System::DeepSpeedPipeline => {
                 let (_, profile) = self.profile();
@@ -470,19 +649,44 @@ impl FineTuner {
                 let stages = stage_costs(&profile, &plan.partition);
                 let mapping =
                     Mapping::sequential(plan.partition.num_stages(), self.topo.num_gpus());
-                Ok(simulate_steps_traced(
-                    &stages,
-                    &mapping,
-                    &self.topo,
-                    &cfg,
-                    k,
-                    self.obs.as_ref(),
-                )?)
+                self.steps_sim(&stages, &mapping, &cfg, k)
             }
             other => Err(RunError::Unsupported(format!(
                 "{} steps are independent; run_step() per step instead",
                 other.label()
             ))),
+        }
+    }
+
+    fn steps_sim(
+        &self,
+        stages: &[StageCosts],
+        mapping: &Mapping,
+        cfg: &PipelineConfig,
+        k: usize,
+    ) -> Result<MultiStepReport, RunError> {
+        match self.active_faults() {
+            Some(faults) => simulate_steps_faulted(
+                stages,
+                mapping,
+                &self.topo,
+                cfg,
+                k,
+                faults,
+                self.obs.as_ref(),
+            )
+            .map_err(|e| match e {
+                ExecError::Schedule(e) => e.into(),
+                ExecError::Fault { abort, .. } => RunError::Fault(abort),
+            }),
+            None => Ok(simulate_steps_traced(
+                stages,
+                mapping,
+                &self.topo,
+                cfg,
+                k,
+                self.obs.as_ref(),
+            )?),
         }
     }
 
@@ -500,8 +704,39 @@ impl FineTuner {
             price_usd: pricing::step_price_usd(&self.topo, step_time),
             trace,
             model_size_bytes,
+            faults: FaultStats::default(),
+            degradations: Vec::new(),
         }
     }
+}
+
+/// The common shape of one pipeline simulation attempt.
+struct MobiusSim {
+    step_time: SimTime,
+    drain_time: SimTime,
+    trace: TraceRecorder,
+    faults: FaultStats,
+}
+
+impl From<mobius_pipeline::SimStepReport> for MobiusSim {
+    fn from(sim: mobius_pipeline::SimStepReport) -> Self {
+        MobiusSim {
+            step_time: sim.step_time,
+            drain_time: sim.drain_time,
+            trace: sim.trace,
+            faults: sim.faults,
+        }
+    }
+}
+
+/// Why one attempt failed: an ordinary planning/scheduling error, or an
+/// injected fault abort carrying the attempt's accounting.
+enum AttemptError {
+    Run(RunError),
+    Fault {
+        abort: FaultAbort,
+        stats: FaultStats,
+    },
 }
 
 #[cfg(test)]

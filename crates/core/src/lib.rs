@@ -45,9 +45,11 @@
 mod error;
 mod finetuner;
 pub mod pricing;
+mod resilience;
 
-pub use error::RunError;
+pub use error::{OomCause, RunError};
 pub use finetuner::{FineTuner, Overheads, Plan, StepReport, System};
+pub use resilience::{Degradation, DegradeAction, ResiliencePolicy};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use mobius_mapping as mapping;

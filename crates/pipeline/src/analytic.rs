@@ -132,6 +132,19 @@ pub enum ScheduleError {
         /// Stages provided.
         stages: usize,
     },
+    /// The request describes no work (zero stages, microbatches, or steps).
+    EmptyWorkload {
+        /// Which dimension was zero.
+        what: String,
+    },
+    /// The mapping addresses a different number of GPUs than the topology
+    /// provides.
+    GpuCountMismatch {
+        /// GPUs the mapping addresses.
+        mapped: usize,
+        /// GPUs in the topology.
+        topo: usize,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -149,6 +162,15 @@ impl fmt::Display for ScheduleError {
             ),
             ScheduleError::MappingMismatch { mapped, stages } => {
                 write!(f, "mapping covers {mapped} stages but {stages} were given")
+            }
+            ScheduleError::EmptyWorkload { what } => {
+                write!(f, "nothing to schedule: zero {what}")
+            }
+            ScheduleError::GpuCountMismatch { mapped, topo } => {
+                write!(
+                    f,
+                    "mapping addresses {mapped} GPUs but the topology has {topo}"
+                )
             }
         }
     }
@@ -223,7 +245,16 @@ pub fn evaluate_analytic(
 ) -> Result<AnalyticSchedule, ScheduleError> {
     let s = stages.len();
     let m = cfg.num_microbatches;
-    assert!(s > 0 && m > 0, "need stages and microbatches");
+    if s == 0 {
+        return Err(ScheduleError::EmptyWorkload {
+            what: "stages".into(),
+        });
+    }
+    if m == 0 {
+        return Err(ScheduleError::EmptyWorkload {
+            what: "microbatches".into(),
+        });
+    }
     if mapping.num_stages() != s {
         return Err(ScheduleError::MappingMismatch {
             mapped: mapping.num_stages(),

@@ -13,12 +13,29 @@
 //! current step's backward tail — but a stage's parameters may only reload
 //! after its gradients reached DRAM and the CPU optimizer refreshed them
 //! (the cross-step data dependency).
+//!
+//! # Fault injection
+//!
+//! [`simulate_steps_faulted`] attaches a [`FaultSchedule`]: its events are
+//! replayed as ordinary engine events (degraded links re-solve the flow
+//! network mid-run, stragglers stretch compute, transfer stalls freeze a
+//! flow), a watchdog retries stalled transfers with exponential backoff,
+//! and a hard GPU failure aborts the run with [`ExecError::Fault`] so a
+//! recovery policy above can replan on the surviving topology. An *empty*
+//! schedule arms nothing — no watchdogs, no events, no counters — so the
+//! result is bit-identical to [`simulate_steps_traced`]. Transfers
+//! cancelled by a retry account only their relaunched remainder in the
+//! traffic map (the abandoned partial attempt is dropped, like a failed
+//! DMA whose buffer is re-queued).
 
 use std::collections::HashMap;
 
 use mobius_mapping::Mapping;
 use mobius_obs::{AttrValue, Lane, Obs};
-use mobius_sim::{CommKind, Engine, FlowId, SimTime, TraceRecorder};
+use mobius_sim::{
+    CommKind, Engine, FaultAbort, FaultKind, FaultSchedule, FaultStats, FlowId, LinkId, SimTime,
+    TraceRecorder,
+};
 use mobius_topology::{ServerNetwork, Topology};
 
 use crate::{MemoryMode, PipelineConfig, ScheduleError, StageCosts};
@@ -33,6 +50,8 @@ pub struct SimStepReport {
     pub drain_time: SimTime,
     /// Bandwidth samples, traffic counters, overlap intervals.
     pub trace: TraceRecorder,
+    /// Fault/recovery accounting (all-zero without a fault schedule).
+    pub faults: FaultStats,
 }
 
 /// Result of simulating several consecutive training steps.
@@ -44,6 +63,48 @@ pub struct MultiStepReport {
     pub drain_time: SimTime,
     /// Trace across the whole run.
     pub trace: TraceRecorder,
+    /// Fault/recovery accounting (all-zero without a fault schedule).
+    pub faults: FaultStats,
+}
+
+/// Why a (possibly faulted) simulation could not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The schedule itself is invalid (stage too large, mismatched
+    /// mapping, empty workload) — the run never started.
+    Schedule(ScheduleError),
+    /// An injected fault aborted the run mid-step.
+    Fault {
+        /// Why the run aborted.
+        abort: FaultAbort,
+        /// Fault accounting up to the abort (so recovery policies can
+        /// stitch the failed attempt into their final report).
+        stats: FaultStats,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Schedule(e) => write!(f, "schedule error: {e}"),
+            ExecError::Fault { abort, .. } => write!(f, "fault aborted the run: {abort}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Schedule(e) => Some(e),
+            ExecError::Fault { abort, .. } => Some(abort),
+        }
+    }
+}
+
+impl From<ScheduleError> for ExecError {
+    fn from(e: ScheduleError) -> Self {
+        ExecError::Schedule(e)
+    }
 }
 
 impl MultiStepReport {
@@ -143,7 +204,7 @@ struct GpuRt {
     running: Option<(Task, SimTime)>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum Ev {
     ComputeDone {
         gpu: usize,
@@ -158,6 +219,46 @@ enum Ev {
         gpu: usize,
         idx: usize,
     },
+    /// Event `idx` of the attached fault schedule fires.
+    Fault {
+        idx: usize,
+    },
+    /// The degradation/straggler window opened by fault `idx` closes.
+    FaultEnd {
+        idx: usize,
+    },
+    /// A stalled flow's freeze window ends (natural recovery).
+    StallEnd {
+        fid: FlowId,
+    },
+    /// Progress check on a transfer hit by a stall.
+    Watchdog {
+        fid: FlowId,
+        /// Remaining bytes when the watchdog was armed.
+        remaining: f64,
+        /// Retries performed so far on this logical transfer.
+        attempt: u32,
+        /// End of the stall window that armed this watchdog.
+        stalled_until: SimTime,
+    },
+    /// Relaunch of a cancelled transfer after its backoff elapsed.
+    Relaunch(RetrySpec),
+}
+
+/// Everything needed to relaunch a cancelled transfer as a fresh flow.
+#[derive(Debug, Clone)]
+struct RetrySpec {
+    path: Vec<LinkId>,
+    bytes: f64,
+    prio: u8,
+    purpose: Purpose,
+    kind: CommKind,
+    gpus: Vec<usize>,
+    /// Retries performed so far, this relaunch included.
+    attempt: u32,
+    /// End of the stall window that triggered the retry: relaunching
+    /// inside it freezes again (the outage is still on).
+    stalled_until: SimTime,
 }
 
 struct Executor<'a> {
@@ -184,6 +285,19 @@ struct Executor<'a> {
     m: usize,
     steps: usize,
     obs: Option<Obs>,
+    /// Attached fault schedule; `None` when empty (nothing armed, so the
+    /// run is bit-identical to an unfaulted one).
+    faults: Option<&'a FaultSchedule>,
+    fault_stats: FaultStats,
+    /// Original link capacities, indexed by [`LinkId::index`].
+    base_caps: Vec<f64>,
+    /// Product of active degradation factors per link.
+    link_factor: Vec<f64>,
+    /// Product of active straggler factors per GPU (1.0 = full speed).
+    gpu_slow: Vec<f64>,
+    /// Retries cancelled-and-scheduled but not yet relaunched.
+    pending_relaunches: usize,
+    abort: Option<FaultAbort>,
 }
 
 /// Simulates one training step of the pipeline on `topo` with full
@@ -224,6 +338,7 @@ pub fn simulate_step_traced(
         step_time: multi.step_boundaries[0],
         drain_time: multi.drain_time,
         trace: multi.trace,
+        faults: multi.faults,
     })
 }
 
@@ -233,12 +348,9 @@ pub fn simulate_step_traced(
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory or the
-/// mapping mismatches the stage list.
-///
-/// # Panics
-///
-/// Panics if `steps == 0` or the mapping's GPU count mismatches `topo`.
+/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory, the
+/// mapping mismatches the stage list or topology, or the workload is
+/// empty (`steps == 0`, no stages, no microbatches).
 pub fn simulate_steps(
     stages: &[StageCosts],
     mapping: &Mapping,
@@ -254,12 +366,9 @@ pub fn simulate_steps(
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory or the
-/// mapping mismatches the stage list.
-///
-/// # Panics
-///
-/// Panics if `steps == 0` or the mapping's GPU count mismatches `topo`.
+/// Returns [`ScheduleError`] when a stage cannot fit in GPU memory, the
+/// mapping mismatches the stage list or topology, or the workload is
+/// empty (`steps == 0`, no stages, no microbatches).
 pub fn simulate_steps_traced(
     stages: &[StageCosts],
     mapping: &Mapping,
@@ -268,21 +377,81 @@ pub fn simulate_steps_traced(
     steps: usize,
     obs: Option<&Obs>,
 ) -> Result<MultiStepReport, ScheduleError> {
+    match simulate_steps_inner(stages, mapping, topo, cfg, steps, None, obs) {
+        Ok(rep) => Ok(rep),
+        Err(ExecError::Schedule(e)) => Err(e),
+        Err(ExecError::Fault { .. }) => {
+            unreachable!("faults cannot fire without a schedule attached")
+        }
+    }
+}
+
+/// [`simulate_steps_traced`] with a [`FaultSchedule`] attached: its events
+/// replay as ordinary engine events, stalled transfers are watched and
+/// retried with exponential backoff, and the report carries the fault
+/// accounting. An empty schedule arms nothing, so the report is
+/// bit-identical to [`simulate_steps_traced`].
+///
+/// # Errors
+///
+/// [`ExecError::Schedule`] when the schedule itself is invalid;
+/// [`ExecError::Fault`] when a GPU failure or an exhausted retry budget
+/// aborted the run.
+pub fn simulate_steps_faulted(
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    topo: &Topology,
+    cfg: &PipelineConfig,
+    steps: usize,
+    faults: &FaultSchedule,
+    obs: Option<&Obs>,
+) -> Result<MultiStepReport, ExecError> {
+    simulate_steps_inner(stages, mapping, topo, cfg, steps, Some(faults), obs)
+}
+
+fn simulate_steps_inner(
+    stages: &[StageCosts],
+    mapping: &Mapping,
+    topo: &Topology,
+    cfg: &PipelineConfig,
+    steps: usize,
+    faults: Option<&FaultSchedule>,
+    obs: Option<&Obs>,
+) -> Result<MultiStepReport, ExecError> {
     let s = stages.len();
     let m = cfg.num_microbatches;
-    assert!(s > 0 && m > 0, "need stages and microbatches");
-    assert!(steps > 0, "need at least one step");
+    if s == 0 {
+        return Err(ScheduleError::EmptyWorkload {
+            what: "stages".into(),
+        }
+        .into());
+    }
+    if m == 0 {
+        return Err(ScheduleError::EmptyWorkload {
+            what: "microbatches".into(),
+        }
+        .into());
+    }
+    if steps == 0 {
+        return Err(ScheduleError::EmptyWorkload {
+            what: "steps".into(),
+        }
+        .into());
+    }
     if mapping.num_stages() != s {
         return Err(ScheduleError::MappingMismatch {
             mapped: mapping.num_stages(),
             stages: s,
-        });
+        }
+        .into());
     }
-    assert_eq!(
-        mapping.num_gpus(),
-        topo.num_gpus(),
-        "mapping GPUs must match topology"
-    );
+    if mapping.num_gpus() != topo.num_gpus() {
+        return Err(ScheduleError::GpuCountMismatch {
+            mapped: mapping.num_gpus(),
+            topo: topo.num_gpus(),
+        }
+        .into());
+    }
     for (j, st) in stages.iter().enumerate() {
         let required = st.resident_fwd().max(st.resident_bwd(m));
         if required > cfg.gpu_mem_bytes {
@@ -290,7 +459,8 @@ pub fn simulate_steps_traced(
                 stage: j,
                 required,
                 capacity: cfg.gpu_mem_bytes,
-            });
+            }
+            .into());
         }
     }
 
@@ -357,6 +527,23 @@ pub fn simulate_steps_traced(
         engine.set_obs(obs.clone());
     }
 
+    // An empty schedule must be indistinguishable from no schedule at all:
+    // drop it here so nothing downstream even sees it.
+    let faults = faults.filter(|f| !f.is_empty());
+    let (base_caps, link_factor) = if faults.is_some() {
+        let caps: Vec<f64> = {
+            let net = server.net();
+            net.link_ids()
+                .iter()
+                .map(|&l| net.link_capacity(l))
+                .collect()
+        };
+        let factors = vec![1.0; caps.len()];
+        (caps, factors)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
     let mut exec = Executor {
         stages,
         mapping,
@@ -377,8 +564,26 @@ pub fn simulate_steps_traced(
         m,
         steps,
         obs: obs.cloned(),
+        faults,
+        fault_stats: FaultStats::default(),
+        base_caps,
+        link_factor,
+        gpu_slow: vec![1.0; n],
+        pending_relaunches: 0,
+        abort: None,
     };
+    if let Some(f) = exec.faults {
+        for (idx, ev) in f.events().iter().enumerate() {
+            exec.engine.schedule(ev.at, Ev::Fault { idx });
+        }
+    }
     exec.run();
+    if let Some(abort) = exec.abort {
+        return Err(ExecError::Fault {
+            abort,
+            stats: exec.fault_stats,
+        });
+    }
     let drain_time = exec.engine.now();
     if let Some(obs) = obs {
         for (i, &b) in exec.step_boundaries.iter().enumerate() {
@@ -409,6 +614,7 @@ pub fn simulate_steps_traced(
         step_boundaries: exec.step_boundaries,
         drain_time,
         trace: exec.trace,
+        faults: exec.fault_stats,
     })
 }
 
@@ -435,6 +641,13 @@ impl Executor<'_> {
         }
         self.pump();
         loop {
+            // Faulted runs may hold bookkeeping events (watchdogs, window
+            // closes) past the end of real work; don't let them stretch the
+            // drain time. Unfaulted runs never take this branch, keeping
+            // their loop byte-identical to before.
+            if self.faults.is_some() && self.work_complete() {
+                break;
+            }
             let next_flow = self.server.net().next_completion();
             let next_ev = self.engine.peek_time();
             match (next_flow, next_ev) {
@@ -450,12 +663,23 @@ impl Executor<'_> {
                 }
                 (None, Some(_)) => self.pop_event(),
             }
+            if self.abort.is_some() {
+                break;
+            }
             self.pump();
         }
         debug_assert!(
-            self.bwd_done.iter().all(|&d| d == self.num_stages * self.m),
+            self.abort.is_some() || self.bwd_done.iter().all(|&d| d == self.num_stages * self.m),
             "simulation ended before all backward work completed"
         );
+    }
+
+    /// All compute retired, no flow in flight, no retry pending: anything
+    /// left in the event queue is fault bookkeeping.
+    fn work_complete(&self) -> bool {
+        self.pending_relaunches == 0
+            && self.server.net().active_flows() == 0
+            && self.bwd_done.iter().all(|&d| d == self.num_stages * self.m)
     }
 
     fn pop_event(&mut self) {
@@ -478,6 +702,268 @@ impl Executor<'_> {
             Ev::LoadUsable { gpu, idx } => {
                 self.gpus[gpu].slots[idx].load.usable = true;
             }
+            Ev::Fault { idx } => self.apply_fault(idx),
+            Ev::FaultEnd { idx } => self.end_fault(idx),
+            Ev::StallEnd { fid } => self.server.net_mut().set_flow_blocked(fid, false),
+            Ev::Watchdog {
+                fid,
+                remaining,
+                attempt,
+                stalled_until,
+            } => self.watchdog_check(fid, remaining, attempt, stalled_until),
+            Ev::Relaunch(spec) => {
+                self.pending_relaunches -= 1;
+                self.relaunch(spec);
+            }
+        }
+    }
+
+    /// Replays scheduled fault `idx` at the current instant.
+    fn apply_fault(&mut self, idx: usize) {
+        let Some(faults) = self.faults else { return };
+        let kind = faults.events()[idx].kind.clone();
+        let now = self.engine.now();
+        self.fault_stats.injected += 1;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("fault.injected", 1.0);
+        }
+        match kind {
+            FaultKind::LinkDegrade {
+                link,
+                factor,
+                until,
+            } => {
+                self.fault_stats.link_degrades += 1;
+                self.scale_matching_links(&link, factor);
+                if let Some(obs) = &self.obs {
+                    obs.counter_add("fault.link_degrade", 1.0);
+                    obs.mark(
+                        Lane::Run,
+                        "fault",
+                        "link-degrade",
+                        now.as_nanos(),
+                        vec![
+                            ("link", AttrValue::Str(link.clone())),
+                            ("factor", AttrValue::F64(factor)),
+                        ],
+                    );
+                }
+                self.engine.schedule(until, Ev::FaultEnd { idx });
+            }
+            FaultKind::GpuSlowdown { gpu, factor, until } => {
+                if gpu < self.gpu_slow.len() {
+                    self.fault_stats.slowdowns += 1;
+                    self.gpu_slow[gpu] *= factor;
+                    if let Some(obs) = &self.obs {
+                        obs.counter_add("fault.slowdown", 1.0);
+                        obs.mark(
+                            Lane::Gpu(gpu),
+                            "fault",
+                            "straggler",
+                            now.as_nanos(),
+                            vec![("factor", AttrValue::F64(factor))],
+                        );
+                    }
+                    self.engine.schedule(until, Ev::FaultEnd { idx });
+                }
+            }
+            FaultKind::TransferStall { duration } => {
+                // Deterministic victim: the oldest (smallest-id) in-flight
+                // flow not already frozen.
+                let victim = self
+                    .server
+                    .net()
+                    .active_flow_ids()
+                    .into_iter()
+                    .find(|&f| self.server.net().is_flow_blocked(f) == Some(false));
+                if let Some(fid) = victim {
+                    self.fault_stats.stalls += 1;
+                    self.server.net_mut().set_flow_blocked(fid, true);
+                    let stalled_until = now + duration;
+                    self.engine.schedule(stalled_until, Ev::StallEnd { fid });
+                    let remaining = self.server.net().remaining_of(fid).unwrap_or(0.0);
+                    self.engine.schedule_after(
+                        faults.watchdog_timeout,
+                        Ev::Watchdog {
+                            fid,
+                            remaining,
+                            attempt: 0,
+                            stalled_until,
+                        },
+                    );
+                    if let Some(obs) = &self.obs {
+                        obs.counter_add("fault.stall", 1.0);
+                        obs.mark(
+                            Lane::Run,
+                            "fault",
+                            "transfer-stall",
+                            now.as_nanos(),
+                            vec![("duration_ms", AttrValue::F64(duration.as_secs_f64() * 1e3))],
+                        );
+                    }
+                }
+            }
+            FaultKind::GpuFail { gpu } => {
+                self.fault_stats.gpu_failures += 1;
+                if let Some(obs) = &self.obs {
+                    obs.counter_add("fault.gpu_fail", 1.0);
+                    obs.mark(
+                        Lane::Run,
+                        "fault",
+                        "gpu-fail",
+                        now.as_nanos(),
+                        vec![("gpu", AttrValue::U64(gpu as u64))],
+                    );
+                }
+                self.abort = Some(FaultAbort::GpuFailed { gpu, at: now });
+            }
+        }
+    }
+
+    /// Closes the degradation/straggler window of fault `idx`.
+    fn end_fault(&mut self, idx: usize) {
+        let Some(faults) = self.faults else { return };
+        match &faults.events()[idx].kind {
+            FaultKind::LinkDegrade { link, factor, .. } => {
+                let (link, factor) = (link.clone(), *factor);
+                self.scale_matching_links(&link, 1.0 / factor);
+            }
+            FaultKind::GpuSlowdown { gpu, factor, .. } if *gpu < self.gpu_slow.len() => {
+                self.gpu_slow[*gpu] /= factor;
+            }
+            _ => {}
+        }
+    }
+
+    /// Multiplies the degradation factor of every link whose label contains
+    /// `pat` and re-applies capacities (rates re-solve immediately).
+    fn scale_matching_links(&mut self, pat: &str, factor: f64) {
+        let ids = self.server.net().link_ids();
+        let labels = self.server.net().link_labels();
+        for (l, label) in ids.into_iter().zip(labels) {
+            if label.contains(pat) {
+                self.link_factor[l.index()] *= factor;
+                let cap = self.base_caps[l.index()] * self.link_factor[l.index()];
+                self.server.net_mut().set_link_capacity(l, cap);
+            }
+        }
+    }
+
+    /// Progress check on a transfer hit by a stall: retry if still frozen,
+    /// keep watching if merely preempted, stand down once it moves again.
+    fn watchdog_check(
+        &mut self,
+        fid: FlowId,
+        remaining: f64,
+        attempt: u32,
+        stalled_until: SimTime,
+    ) {
+        let Some(faults) = self.faults else { return };
+        let Some(rem_now) = self.server.net().remaining_of(fid) else {
+            return; // completed or already retried under a new id
+        };
+        if rem_now < remaining {
+            return; // moving again; a fresh stall arms a fresh watchdog
+        }
+        if self.server.net().is_flow_blocked(fid) != Some(true) {
+            // Zero progress but not frozen: legitimately preempted by
+            // higher-priority traffic. Keep watching.
+            self.engine.schedule_after(
+                faults.watchdog_timeout,
+                Ev::Watchdog {
+                    fid,
+                    remaining: rem_now,
+                    attempt,
+                    stalled_until,
+                },
+            );
+            return;
+        }
+        let now = self.engine.now();
+        let next = attempt + 1;
+        if next > faults.max_retries {
+            self.fault_stats.aborted_transfers += 1;
+            if let Some(obs) = &self.obs {
+                obs.counter_add("retry.aborted", 1.0);
+            }
+            self.abort = Some(FaultAbort::RetriesExhausted {
+                attempts: attempt,
+                at: now,
+            });
+            return;
+        }
+        let (purpose, kind, gpus) = self
+            .flows
+            .remove(&fid)
+            .expect("retried flow without metadata");
+        let path = self.server.net().path_of(fid).expect("retried flow path");
+        let prio = self
+            .server
+            .net()
+            .priority_of(fid)
+            .expect("retried flow priority");
+        self.server.net_mut().cancel(fid);
+        self.fault_stats.retries += 1;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("retry.count", 1.0);
+            obs.mark(
+                Lane::Run,
+                "fault",
+                "retry",
+                now.as_nanos(),
+                vec![("attempt", AttrValue::U64(u64::from(next)))],
+            );
+        }
+        // Attempt k backs off retry_base × 2^(k-1).
+        let backoff = SimTime::from_nanos(
+            faults
+                .retry_base
+                .as_nanos()
+                .saturating_mul(1u64 << (next - 1).min(32)),
+        );
+        self.pending_relaunches += 1;
+        self.engine.schedule_after(
+            backoff,
+            Ev::Relaunch(RetrySpec {
+                path,
+                bytes: rem_now.max(1.0),
+                prio,
+                purpose,
+                kind,
+                gpus,
+                attempt: next,
+                stalled_until,
+            }),
+        );
+    }
+
+    /// Re-queues a cancelled transfer as a fresh flow. If the stall window
+    /// that killed it is still open, the relaunch freezes too and the
+    /// watchdog keeps counting toward the retry budget.
+    fn relaunch(&mut self, spec: RetrySpec) {
+        let Some(faults) = self.faults else { return };
+        if self.abort.is_some() {
+            return;
+        }
+        let fid = self
+            .server
+            .net_mut()
+            .start_flow(spec.path, spec.bytes, spec.prio, 0);
+        self.flows.insert(fid, (spec.purpose, spec.kind, spec.gpus));
+        let now = self.engine.now();
+        if now < spec.stalled_until {
+            self.server.net_mut().set_flow_blocked(fid, true);
+            self.engine
+                .schedule(spec.stalled_until, Ev::StallEnd { fid });
+            self.engine.schedule_after(
+                faults.watchdog_timeout,
+                Ev::Watchdog {
+                    fid,
+                    remaining: spec.bytes,
+                    attempt: spec.attempt,
+                    stalled_until: spec.stalled_until,
+                },
+            );
         }
     }
 
@@ -570,6 +1056,13 @@ impl Executor<'_> {
             let duration = match slot.phase {
                 Phase::Fwd => self.stages[slot.stage].fwd,
                 Phase::Bwd => self.stages[slot.stage].bwd,
+            };
+            // Straggler windows stretch tasks *starting* inside them. The
+            // exact-1.0 guard keeps unfaulted runs off the float round trip.
+            let duration = if self.gpu_slow[g] == 1.0 {
+                duration
+            } else {
+                SimTime::from_secs_f64(duration.as_secs_f64() * self.gpu_slow[g])
             };
             let task = Task {
                 step: slot.step,
@@ -1150,6 +1643,146 @@ mod tests {
             "step 1 finished at {total:.3}s, before the gradient flush allows \
              ({lower_bound:.3}s)"
         );
+    }
+
+    // ----- fault injection -----
+
+    fn hetero_setup() -> (Vec<StageCosts>, Mapping, Topology, PipelineConfig) {
+        let stages: Vec<StageCosts> = (0..8).map(|_| stage(10, GB, 1 << 20)).collect();
+        let mapping = Mapping::sequential(8, 4);
+        let c = cfg(4, MemoryMode::Heterogeneous).with_strict_validation(true);
+        (stages, mapping, topo22(), c)
+    }
+
+    #[test]
+    fn empty_schedule_matches_unfaulted_run() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let plain = simulate_steps(&stages, &mapping, &topo, &c, 2).unwrap();
+        let faulted =
+            simulate_steps_faulted(&stages, &mapping, &topo, &c, 2, &FaultSchedule::new(), None)
+                .unwrap();
+        assert_eq!(plain.step_boundaries, faulted.step_boundaries);
+        assert_eq!(plain.drain_time, faulted.drain_time);
+        assert_eq!(faulted.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn degraded_uplink_slows_the_step() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let base = simulate_steps(&stages, &mapping, &topo, &c, 1)
+            .unwrap()
+            .step_boundaries[0];
+        // Both root complexes at 20% capacity for most of the step.
+        let faults =
+            FaultSchedule::new().degrade_link("rc", 0.2, SimTime::ZERO, SimTime::from_secs(30));
+        let rep = simulate_steps_faulted(&stages, &mapping, &topo, &c, 1, &faults, None).unwrap();
+        assert!(
+            rep.step_boundaries[0] > base,
+            "degraded {:?} should exceed healthy {base:?}",
+            rep.step_boundaries[0]
+        );
+        assert_eq!(rep.faults.link_degrades, 1);
+        assert_eq!(rep.faults.injected, 1);
+    }
+
+    #[test]
+    fn straggler_gpu_stretches_the_step() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let base = simulate_steps(&stages, &mapping, &topo, &c, 1)
+            .unwrap()
+            .step_boundaries[0];
+        let faults = FaultSchedule::new().slow_gpu(0, 4.0, SimTime::ZERO, SimTime::from_secs(60));
+        let rep = simulate_steps_faulted(&stages, &mapping, &topo, &c, 1, &faults, None).unwrap();
+        assert!(rep.step_boundaries[0] > base);
+        assert_eq!(rep.faults.slowdowns, 1);
+    }
+
+    #[test]
+    fn stalled_transfer_is_retried_and_completes() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        // Freeze the oldest in-flight upload for a long time; a tight
+        // watchdog retries it well before the stall would naturally end.
+        let faults = FaultSchedule::new()
+            .stall(SimTime::from_millis(1), SimTime::from_millis(400))
+            .with_watchdog(SimTime::from_millis(20))
+            .with_retry(SimTime::from_millis(2), 20);
+        let rep = simulate_steps_faulted(&stages, &mapping, &topo, &c, 1, &faults, None).unwrap();
+        assert_eq!(rep.faults.stalls, 1);
+        assert!(rep.faults.retries > 0, "watchdog should have retried");
+        assert_eq!(rep.faults.aborted_transfers, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_run() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        // Stall longer than the whole retry budget can cover: watchdog
+        // 5ms, base 1ms, 3 retries → gives up inside the 10s outage.
+        let faults = FaultSchedule::new()
+            .stall(SimTime::from_millis(1), SimTime::from_secs(10))
+            .with_watchdog(SimTime::from_millis(5))
+            .with_retry(SimTime::from_millis(1), 3);
+        let err =
+            simulate_steps_faulted(&stages, &mapping, &topo, &c, 1, &faults, None).unwrap_err();
+        match err {
+            ExecError::Fault { abort, stats } => {
+                assert!(matches!(abort, FaultAbort::RetriesExhausted { .. }));
+                assert_eq!(stats.aborted_transfers, 1);
+                assert_eq!(stats.retries, 3);
+            }
+            other => panic!("expected fault abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_failure_aborts_with_typed_error() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let faults = FaultSchedule::new().fail_gpu(2, SimTime::from_millis(50));
+        let err =
+            simulate_steps_faulted(&stages, &mapping, &topo, &c, 1, &faults, None).unwrap_err();
+        match err {
+            ExecError::Fault { abort, stats } => {
+                assert_eq!(
+                    abort,
+                    FaultAbort::GpuFailed {
+                        gpu: 2,
+                        at: SimTime::from_millis(50)
+                    }
+                );
+                assert_eq!(stats.gpu_failures, 1);
+            }
+            other => panic!("expected fault abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_in_the_schedule() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let faults = FaultSchedule::random(42, 6, 4, SimTime::from_secs(20));
+        let a = simulate_steps_faulted(&stages, &mapping, &topo, &c, 2, &faults, None).unwrap();
+        let b = simulate_steps_faulted(&stages, &mapping, &topo, &c, 2, &faults, None).unwrap();
+        assert_eq!(a.step_boundaries, b.step_boundaries);
+        assert_eq!(a.drain_time, b.drain_time);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn empty_workload_is_a_typed_error() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let err = simulate_steps(&stages, &mapping, &topo, &c, 0).unwrap_err();
+        assert!(matches!(err, ScheduleError::EmptyWorkload { .. }));
+        let err = simulate_steps(&[], &mapping, &topo, &c, 1).unwrap_err();
+        assert!(matches!(err, ScheduleError::EmptyWorkload { .. }));
+    }
+
+    #[test]
+    fn gpu_count_mismatch_is_a_typed_error() {
+        let (stages, _, topo, c) = hetero_setup();
+        let mapping = Mapping::sequential(8, 2); // topology has 4 GPUs
+        let err = simulate_steps(&stages, &mapping, &topo, &c, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::GpuCountMismatch { mapped: 2, topo: 4 }
+        ));
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub use analytic::{
     TrafficEstimate, DEFAULT_ACT_LATENCY, DEFAULT_SWAP_OVERHEAD,
 };
 pub use executor::{
-    simulate_step, simulate_step_traced, simulate_steps, simulate_steps_traced, MultiStepReport,
-    SimStepReport,
+    simulate_step, simulate_step_traced, simulate_steps, simulate_steps_faulted,
+    simulate_steps_traced, ExecError, MultiStepReport, SimStepReport,
 };
 pub use gantt::{render_gantt, utilization};
 pub use gpipe::{gpipe_memory, plan_gpipe, GpipePlan};

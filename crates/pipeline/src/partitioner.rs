@@ -101,9 +101,26 @@ pub fn max_stage_partition(
     while start < l {
         let c = max_feasible(profile, cfg, start);
         if c == 0 {
+            // Report what the single layer actually needs resident (the
+            // same fwd/bwd peak `max_feasible` tested), not just its
+            // parameters.
+            let layers = profile.layers();
+            let first = &layers[start];
+            let in_act = if start == 0 {
+                0
+            } else {
+                layers[start - 1].output_act_bytes
+            };
+            let m = cfg.num_microbatches as u64;
+            let fwd = first.param_bytes + first.workspace_bytes + in_act + first.output_act_bytes;
+            let bwd = first.param_bytes
+                + first.grad_bytes
+                + first.workspace_bytes
+                + m * in_act
+                + first.output_act_bytes;
             return Err(ScheduleError::StageTooLarge {
                 stage: sizes.len(),
-                required: profile.layers()[start].param_bytes,
+                required: fwd.max(bwd),
                 capacity: cfg.gpu_mem_bytes,
             });
         }

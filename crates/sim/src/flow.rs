@@ -53,6 +53,9 @@ struct Flow {
     rate: f64, // bytes per second, recomputed on every network change
     started: SimTime,
     user: u64,
+    /// Frozen by fault injection: excluded from allocation (rate 0) until
+    /// unblocked or cancelled.
+    blocked: bool,
 }
 
 /// A completed transfer, reported by [`FlowNetwork::complete`].
@@ -160,9 +163,34 @@ impl FlowNetwork {
         self.links[id.0].capacity
     }
 
+    /// Changes a link's capacity *mid-simulation* — the time-varying
+    /// bandwidth of a degraded (or recovered) link. All flow rates are
+    /// re-solved immediately against the new capacity, and strict mode
+    /// revalidates conservation right away, so a fault window can never
+    /// leave the network oversubscribed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive and finite.
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity_bytes_per_sec: f64) {
+        assert!(
+            capacity_bytes_per_sec.is_finite() && capacity_bytes_per_sec > 0.0,
+            "link capacity must be positive"
+        );
+        self.links[id.0].capacity = capacity_bytes_per_sec;
+        self.recompute_rates();
+    }
+
     /// Number of links.
     pub fn link_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Ids of all links, in insertion order — pairs with
+    /// [`FlowNetwork::link_labels`] for label-based lookups (fault
+    /// injection matches degradation windows against link labels).
+    pub fn link_ids(&self) -> Vec<LinkId> {
+        (0..self.links.len()).map(LinkId).collect()
     }
 
     /// Number of in-flight flows.
@@ -205,10 +233,48 @@ impl FlowNetwork {
                 rate: 0.0,
                 started: self.now,
                 user,
+                blocked: false,
             },
         );
         self.recompute_rates();
         id
+    }
+
+    /// Freezes or resumes a flow (fault injection: a stalled DMA engine).
+    /// A blocked flow keeps its remaining bytes but moves at rate 0 and is
+    /// excluded from the water-filling allocation, so its share is
+    /// redistributed. No-op for unknown (already completed) ids.
+    pub fn set_flow_blocked(&mut self, id: FlowId, blocked: bool) {
+        let Some(f) = self.flows.get_mut(&id) else {
+            return;
+        };
+        if f.blocked != blocked {
+            f.blocked = blocked;
+            self.recompute_rates();
+        }
+    }
+
+    /// Whether a flow is currently frozen by [`set_flow_blocked`].
+    ///
+    /// [`set_flow_blocked`]: FlowNetwork::set_flow_blocked
+    pub fn is_flow_blocked(&self, id: FlowId) -> Option<bool> {
+        self.flows.get(&id).map(|f| f.blocked)
+    }
+
+    /// Ids of all in-flight flows, in ascending (start-order) id sequence —
+    /// the deterministic victim order for injected transfer stalls.
+    pub fn active_flow_ids(&self) -> Vec<FlowId> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// The path of an active flow (for retrying it as a fresh flow).
+    pub fn path_of(&self, id: FlowId) -> Option<Vec<LinkId>> {
+        self.flows.get(&id).map(|f| f.path.clone())
+    }
+
+    /// The priority of an active flow.
+    pub fn priority_of(&self, id: FlowId) -> Option<Priority> {
+        self.flows.get(&id).map(|f| f.priority)
     }
 
     /// The current rate of a flow in bytes/second, if it is still active.
@@ -310,7 +376,9 @@ impl FlowNetwork {
             }
         }
         for f in self.flows.values() {
-            if f.rate > 0.0 {
+            if f.rate > 0.0 || f.blocked {
+                // A blocked flow is frozen by fault injection; zero rate is
+                // its defined behaviour, not starvation.
                 continue;
             }
             // Zero rate is only legitimate under preemption: some link on
@@ -420,8 +488,14 @@ impl FlowNetwork {
     fn recompute_rates(&mut self) {
         let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
 
-        // Gather distinct priorities, highest first.
-        let mut prios: Vec<Priority> = self.flows.values().map(|f| f.priority).collect();
+        // Gather distinct priorities, highest first. Blocked (stalled)
+        // flows take no part in the allocation.
+        let mut prios: Vec<Priority> = self
+            .flows
+            .values()
+            .filter(|f| !f.blocked)
+            .map(|f| f.priority)
+            .collect();
         prios.sort_unstable_by(|a, b| b.cmp(a));
         prios.dedup();
 
@@ -433,7 +507,7 @@ impl FlowNetwork {
             let ids: Vec<FlowId> = self
                 .flows
                 .iter()
-                .filter(|(_, f)| f.priority == prio)
+                .filter(|(_, f)| f.priority == prio && !f.blocked)
                 .map(|(&id, _)| id)
                 .collect();
             let rates = water_fill(&ids, &self.flows, &residual);
@@ -660,6 +734,73 @@ mod tests {
     fn empty_path_rejected() {
         let mut net = FlowNetwork::new();
         net.start_flow(vec![], 1.0, 0, 0);
+    }
+
+    #[test]
+    fn set_link_capacity_resolves_rates_immediately() {
+        let mut net = FlowNetwork::new();
+        net.set_strict_validation(true);
+        let l = net.add_link("l", gbps(10.0));
+        let f = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        assert!((net.rate_of(f).unwrap() - gbps(10.0)).abs() < 1.0);
+        // The link degrades to half capacity: the flow tracks it at once
+        // and conservation holds under strict validation.
+        net.set_link_capacity(l, gbps(5.0));
+        assert!((net.rate_of(f).unwrap() - gbps(5.0)).abs() < 1.0);
+        net.set_link_capacity(l, gbps(10.0));
+        assert!((net.rate_of(f).unwrap() - gbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn degraded_link_stretches_completion() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let f = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        net.advance_to(SimTime::from_millis(500));
+        net.set_link_capacity(l, gbps(5.0)); // 5 GB left at 5 GB/s: +1s
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(t, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn blocked_flow_frees_bandwidth_for_the_rest() {
+        let mut net = FlowNetwork::new();
+        net.set_strict_validation(true);
+        let l = net.add_link("l", gbps(10.0));
+        let a = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        let b = net.start_flow(vec![l], gbps(10.0), 0, 1);
+        assert!((net.rate_of(a).unwrap() - gbps(5.0)).abs() < 1.0);
+        net.set_flow_blocked(a, true);
+        assert_eq!(net.rate_of(a).unwrap(), 0.0);
+        assert!((net.rate_of(b).unwrap() - gbps(10.0)).abs() < 1.0);
+        assert_eq!(net.is_flow_blocked(a), Some(true));
+        // Unblock: back to the fair split, strict validation happy
+        // throughout.
+        net.set_flow_blocked(a, false);
+        assert!((net.rate_of(a).unwrap() - gbps(5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn blocked_flow_is_not_a_completion_candidate() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let a = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        net.set_flow_blocked(a, true);
+        assert!(net.next_completion().is_none());
+    }
+
+    #[test]
+    fn flow_introspection_for_retries() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let a = net.start_flow(vec![l], gbps(1.0), 7, 0);
+        assert_eq!(net.active_flow_ids(), vec![a]);
+        assert_eq!(net.path_of(a).unwrap(), vec![l]);
+        assert_eq!(net.priority_of(a), Some(7));
+        net.cancel(a);
+        assert!(net.active_flow_ids().is_empty());
+        assert_eq!(net.path_of(a), None);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`TraceRecorder`] / [`Cdf`] / [`IntervalSet`] — the measurement side:
 //!   traffic counters, byte-weighted bandwidth CDFs, and compute/comm
 //!   overlap accounting.
+//! * [`FaultSchedule`] / [`FaultStats`] — deterministic, seeded fault
+//!   injection (degraded links, stragglers, transfer stalls, GPU loss)
+//!   that executors replay as ordinary engine events.
 //!
 //! # Example: two GPUs contending on one root complex
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod flow;
 mod intervals;
 mod time;
@@ -44,6 +48,10 @@ mod trace;
 mod validate;
 
 pub use engine::Engine;
+pub use fault::{
+    FaultAbort, FaultEvent, FaultKind, FaultSchedule, FaultStats, DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BASE, DEFAULT_WATCHDOG,
+};
 pub use flow::{FlowId, FlowNetwork, FlowRecord, LinkId, Priority};
 pub use intervals::IntervalSet;
 pub use time::SimTime;

@@ -122,6 +122,23 @@ impl Topology {
         self.ssd_gbps
     }
 
+    /// The surviving topology after GPU `g` dies: its root-complex group
+    /// shrinks by one and an emptied group is dropped, so the remaining
+    /// GPUs renumber contiguously (the elastic-replan input after a
+    /// failure). Interconnect class and SSD offload carry over. Returns
+    /// `None` when `g` is out of range or it was the last GPU.
+    pub fn without_gpu(&self, g: usize) -> Option<Topology> {
+        if g >= self.num_gpus() || self.num_gpus() == 1 {
+            return None;
+        }
+        let mut groups = self.groups.clone();
+        groups[self.gpu_group[g]] -= 1;
+        let groups: Vec<usize> = groups.into_iter().filter(|&s| s > 0).collect();
+        let mut t = Self::build(self.gpu.clone(), &groups, self.interconnect);
+        t.ssd_gbps = self.ssd_gbps;
+        Some(t)
+    }
+
     /// The GPU model installed in this server.
     pub fn gpu(&self) -> &GpuSpec {
         &self.gpu
@@ -270,5 +287,41 @@ mod tests {
     fn avg_bandwidth_capped_by_root_complex() {
         let t = Topology::commodity(GpuSpec::rtx3090ti(), &[4]);
         assert_eq!(t.avg_gpu_bandwidth(), ROOT_COMPLEX_GBPS * 1e9);
+    }
+
+    #[test]
+    fn without_gpu_shrinks_the_group_and_renumbers() {
+        let t = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
+        let s = t.without_gpu(1).expect("GPU 1 exists");
+        assert_eq!(s.num_gpus(), 3);
+        assert_eq!(s.groups(), &[1, 2]);
+        assert_eq!(s.interconnect(), t.interconnect());
+        // Survivors renumber contiguously: old GPUs 2 and 3 are now 1 and
+        // 2, still sharing their root complex.
+        assert!(s.same_root_complex(1, 2));
+        assert!(!s.same_root_complex(0, 1));
+    }
+
+    #[test]
+    fn without_gpu_drops_an_emptied_group() {
+        let t = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 3]);
+        let s = t.without_gpu(0).expect("GPU 0 exists");
+        assert_eq!(s.groups(), &[3]);
+        assert_eq!(s.num_root_complexes(), 1);
+    }
+
+    #[test]
+    fn without_gpu_refuses_the_last_gpu_and_bad_indices() {
+        let t = Topology::commodity(GpuSpec::rtx3090ti(), &[1]);
+        assert!(t.without_gpu(0).is_none(), "cannot lose the last GPU");
+        let t = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
+        assert!(t.without_gpu(4).is_none(), "out of range");
+    }
+
+    #[test]
+    fn without_gpu_preserves_ssd_tier() {
+        let t = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]).with_ssd_offload(3.5);
+        let s = t.without_gpu(3).unwrap();
+        assert_eq!(s.ssd_gbps(), Some(3.5));
     }
 }

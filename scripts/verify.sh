@@ -23,4 +23,16 @@ cargo fmt --all -- --check
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+echo "==> fault-injection determinism gate (two seeded runs, byte-identical JSON)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p mobius-bench --bin resilience -- \
+  --quick --seed 42 --json "$tmpdir/a.json" >/dev/null 2>&1
+cargo run --release -q -p mobius-bench --bin resilience -- \
+  --quick --seed 42 --json "$tmpdir/b.json" >/dev/null 2>&1
+cmp "$tmpdir/a.json" "$tmpdir/b.json" || {
+  echo "FAIL: identically seeded resilience runs diverged" >&2
+  exit 1
+}
+
 echo "==> verify OK"

@@ -218,7 +218,7 @@ fn run_error_reports_oom_reason() {
         .run_step()
         .unwrap_err();
     match err {
-        RunError::OutOfMemory(msg) => assert!(msg.contains("GiB")),
+        RunError::OutOfMemory(cause) => assert!(cause.to_string().contains("GiB")),
         other => panic!("expected OOM, got {other:?}"),
     }
 }

@@ -1,0 +1,347 @@
+//! Integration tests for deterministic fault injection and degraded-mode
+//! recovery: bit-identity of the empty schedule, seeded reproducibility,
+//! watchdog retries, elastic replan after GPU failure, and the OOM
+//! degradation ladder. Strict validation stays on wherever a faulted
+//! schedule runs, so recovery is checked against the paper's constraints,
+//! not just for completion.
+
+use std::error::Error as _;
+
+use mobius::{DegradeAction, FineTuner, OomCause, ResiliencePolicy, RunError, System};
+use mobius_mapping::Mapping;
+use mobius_model::GptConfig;
+use mobius_obs::Obs;
+use mobius_pipeline::{
+    simulate_steps_faulted, simulate_steps_traced, PartitionAlgo, PipelineConfig, StageCosts,
+};
+use mobius_sim::{FaultAbort, FaultSchedule, SimTime};
+use mobius_topology::{GpuSpec, Topology};
+
+fn commodity(groups: &[usize]) -> Topology {
+    Topology::commodity(GpuSpec::rtx3090ti(), groups)
+}
+
+/// A Mobius tuner with a deterministic (non-MIP) partition so runs can be
+/// compared bit-for-bit, and strict validation on.
+fn tuner(cfg: GptConfig) -> FineTuner {
+    FineTuner::new(cfg)
+        .topology(commodity(&[2, 2]))
+        .system(System::Mobius)
+        .partition_algo(PartitionAlgo::MinStage)
+        .strict_validation(true)
+}
+
+fn stage(fwd_ms: u64, param_mb: u64) -> StageCosts {
+    StageCosts {
+        fwd: SimTime::from_millis(fwd_ms),
+        bwd: SimTime::from_millis(3 * fwd_ms),
+        param_bytes: param_mb << 20,
+        grad_bytes: param_mb << 20,
+        in_act_bytes: 64 << 20,
+        out_act_bytes: 64 << 20,
+        workspace_bytes: 64 << 20,
+    }
+}
+
+/// The acceptance gate of the fault subsystem: running through
+/// `simulate_steps_faulted` with an *empty* schedule must be bit-identical
+/// to a run that never heard of fault injection — step boundaries, drain,
+/// traffic bytes, Chrome trace bytes, and the metrics registry.
+#[test]
+fn empty_schedule_is_bit_identical_to_no_subsystem() {
+    let stages = vec![
+        stage(10, 256),
+        stage(12, 192),
+        stage(8, 320),
+        stage(11, 128),
+    ];
+    let topo = commodity(&[2]);
+    let mapping = Mapping::sequential(stages.len(), topo.num_gpus());
+    let cfg = PipelineConfig {
+        strict_validation: true,
+        ..PipelineConfig::mobius(2, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth())
+    };
+
+    let plain_obs = Obs::new();
+    let plain = simulate_steps_traced(&stages, &mapping, &topo, &cfg, 2, Some(&plain_obs)).unwrap();
+
+    let faulted_obs = Obs::new();
+    let faulted = simulate_steps_faulted(
+        &stages,
+        &mapping,
+        &topo,
+        &cfg,
+        2,
+        &FaultSchedule::new(),
+        Some(&faulted_obs),
+    )
+    .unwrap();
+
+    assert_eq!(plain.step_boundaries, faulted.step_boundaries);
+    assert_eq!(plain.drain_time, faulted.drain_time);
+    assert_eq!(
+        plain.trace.total_traffic().to_bits(),
+        faulted.trace.total_traffic().to_bits(),
+        "traffic must match to the last bit"
+    );
+    assert_eq!(faulted.faults, Default::default());
+    assert_eq!(
+        plain_obs.chrome_trace_json(),
+        faulted_obs.chrome_trace_json(),
+        "trace bytes must be identical"
+    );
+    assert_eq!(plain_obs.metrics_json(), faulted_obs.metrics_json());
+}
+
+/// Same gate one layer up: attaching an empty schedule to the fine-tuner
+/// changes nothing about the step.
+#[test]
+fn empty_schedule_on_the_tuner_changes_nothing() {
+    let plain_obs = Obs::new();
+    let plain = tuner(GptConfig::gpt_3b())
+        .observe(plain_obs.clone())
+        .run_step()
+        .unwrap();
+    let faulted_obs = Obs::new();
+    let faulted = tuner(GptConfig::gpt_3b())
+        .faults(FaultSchedule::new())
+        .resilience(ResiliencePolicy::recover())
+        .observe(faulted_obs.clone())
+        .run_step()
+        .unwrap();
+    assert_eq!(plain.step_time, faulted.step_time);
+    assert_eq!(plain.drain_time, faulted.drain_time);
+    assert_eq!(
+        plain_obs.chrome_trace_json(),
+        faulted_obs.chrome_trace_json()
+    );
+    assert!(faulted.degradations.is_empty());
+    assert_eq!(faulted.faults, Default::default());
+}
+
+#[test]
+fn seeded_faults_reproduce_bitwise() {
+    let run = || {
+        tuner(GptConfig::gpt_3b())
+            .faults(FaultSchedule::random(99, 6, 4, SimTime::from_secs(2)))
+            .run_step()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.step_time, b.step_time);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.step_time.as_nanos(), b.step_time.as_nanos());
+}
+
+#[test]
+fn degraded_uplink_slows_the_tuned_step() {
+    let clean = tuner(GptConfig::gpt_3b()).run_step().unwrap();
+    let degraded = tuner(GptConfig::gpt_3b())
+        .faults(FaultSchedule::new().degrade_link(
+            "rc",
+            0.25,
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        ))
+        .run_step()
+        .unwrap();
+    assert!(
+        degraded.step_time > clean.step_time,
+        "a quartered uplink must slow the step: {} vs {}",
+        degraded.step_time,
+        clean.step_time
+    );
+    assert_eq!(degraded.faults.link_degrades, 1);
+}
+
+#[test]
+fn stalled_transfer_retries_and_completes_under_strict_validation() {
+    let rep = tuner(GptConfig::gpt_3b())
+        .faults(
+            FaultSchedule::new()
+                .stall(SimTime::from_millis(5), SimTime::from_millis(300))
+                .with_watchdog(SimTime::from_millis(20))
+                .with_retry(SimTime::from_millis(2), 20),
+        )
+        .run_step()
+        .unwrap();
+    assert_eq!(rep.faults.stalls, 1);
+    assert!(rep.faults.retries >= 1, "the watchdog must have fired");
+    assert_eq!(rep.faults.aborted_transfers, 0);
+}
+
+#[test]
+fn gpu_failure_without_policy_is_a_typed_fault() {
+    let err = tuner(GptConfig::gpt_3b())
+        .faults(FaultSchedule::new().fail_gpu(1, SimTime::from_millis(100)))
+        .run_step()
+        .unwrap_err();
+    match err {
+        RunError::Fault(FaultAbort::GpuFailed { gpu, at }) => {
+            assert_eq!(gpu, 1);
+            assert_eq!(at, SimTime::from_millis(100));
+        }
+        other => panic!("expected a GPU failure, got {other:?}"),
+    }
+    // The source chain reaches the typed abort.
+    assert!(err.source().expect("fault has a source").is::<FaultAbort>());
+}
+
+#[test]
+fn gpu_failure_with_policy_replans_on_survivors() {
+    let rep = tuner(GptConfig::gpt_3b())
+        .num_microbatches(4)
+        .faults(FaultSchedule::new().fail_gpu(1, SimTime::from_millis(100)))
+        .resilience(ResiliencePolicy::recover())
+        .run_step()
+        .unwrap();
+    assert_eq!(rep.faults.gpu_failures, 1);
+    assert_eq!(rep.degradations.len(), 1);
+    match &rep.degradations[0].action {
+        DegradeAction::ElasticReplan {
+            failed_gpu,
+            surviving_gpus,
+            ..
+        } => {
+            assert_eq!(*failed_gpu, 1);
+            assert_eq!(*surviving_gpus, 3);
+        }
+        other => panic!("expected an elastic replan, got {other:?}"),
+    }
+    assert!(matches!(rep.degradations[0].cause, RunError::Fault(_)));
+    assert!(rep.step_time > SimTime::ZERO);
+}
+
+/// The OOM degradation ladder, end to end: an absurd microbatch count
+/// blows the pipeline's per-stage activation stash (`m` checkpointed
+/// inputs) under *every* partition, while ZeRO (data-parallel, one
+/// resident microbatch per GPU) is unaffected. Without the policy the run
+/// is a typed OOM; with it, both rungs are recorded — a MaxStage
+/// re-partition attempt, then the ZeRO-hetero fallback — and the step
+/// completes.
+#[test]
+fn oom_degrades_through_the_ladder_to_zero_hetero() {
+    let oversubscribed = || tuner(GptConfig::gpt_15b()).num_microbatches(8192);
+    assert!(
+        matches!(oversubscribed().run_step(), Err(RunError::OutOfMemory(_))),
+        "8192 checkpointed microbatches must OOM without the ladder"
+    );
+    let rep = oversubscribed()
+        .resilience(ResiliencePolicy::recover())
+        .run_step()
+        .unwrap();
+    let actions: Vec<_> = rep.degradations.iter().map(|d| &d.action).collect();
+    assert_eq!(rep.degradations.len(), 2, "{actions:?}");
+    assert!(matches!(
+        actions[0],
+        DegradeAction::MoreStages {
+            algo: PartitionAlgo::MaxStage
+        }
+    ));
+    assert!(matches!(actions[1], DegradeAction::ZeroHetero));
+    for d in &rep.degradations {
+        assert!(matches!(d.cause, RunError::OutOfMemory(_)), "{}", d);
+    }
+    // The report records what was asked for; the degradations say what ran.
+    assert_eq!(rep.system, System::Mobius);
+    assert!(rep.step_time > SimTime::ZERO);
+}
+
+/// A tuner already configured with the memory-greedy MaxStage partition
+/// skips the re-partition rung: there is nothing smaller to try, so the
+/// ladder goes straight to ZeRO-hetero.
+#[test]
+fn ladder_skips_more_stages_when_already_max_stage() {
+    let rep = tuner(GptConfig::gpt_15b())
+        .partition_algo(PartitionAlgo::MaxStage)
+        .num_microbatches(8192)
+        .resilience(ResiliencePolicy::recover())
+        .run_step()
+        .unwrap();
+    assert_eq!(rep.degradations.len(), 1);
+    assert!(matches!(
+        rep.degradations[0].action,
+        DegradeAction::ZeroHetero
+    ));
+}
+
+/// A model whose embedding alone exceeds GPU memory OOMs on *every*
+/// system — as a returned typed error, never a panic.
+#[test]
+fn every_system_returns_oom_for_an_oversized_layer() {
+    // 2M vocab x 8192 hidden x 2 bytes = 32 GB in one layer.
+    let monster = GptConfig::new("monster", 2_000_000, 8192, 64, 2, 512, 1);
+    for system in [
+        System::Mobius,
+        System::Gpipe,
+        System::DeepSpeedPipeline,
+        System::DeepSpeedHetero,
+        System::ZeroOffload,
+    ] {
+        let err = FineTuner::new(monster.clone())
+            .topology(commodity(&[2, 2]))
+            .system(system)
+            .partition_algo(PartitionAlgo::MinStage)
+            .strict_validation(true)
+            .run_step()
+            .unwrap_err();
+        match &err {
+            RunError::OutOfMemory(cause) => {
+                // The cause keeps its type: schedule errors from the
+                // pipeline systems, ZeRO errors from the ZeRO systems.
+                match system {
+                    System::DeepSpeedHetero => {
+                        assert!(matches!(cause, OomCause::Zero(_)), "{system:?}: {cause:?}")
+                    }
+                    System::Gpipe | System::Mobius => {
+                        assert!(
+                            matches!(cause, OomCause::Schedule(_)),
+                            "{system:?}: {cause:?}"
+                        )
+                    }
+                    _ => {}
+                }
+            }
+            other => panic!("{system:?} should OOM, got {other:?}"),
+        }
+        // Every OOM explains itself down to the root cause.
+        let chain_root = err.source().and_then(|c| c.source());
+        assert!(chain_root.is_some(), "{system:?} OOM has no root cause");
+    }
+}
+
+#[test]
+fn multi_step_runs_replay_faults_but_never_replan() {
+    let degraded = tuner(GptConfig::gpt_3b())
+        .faults(FaultSchedule::new().degrade_link(
+            "rc",
+            0.5,
+            SimTime::from_millis(100),
+            SimTime::from_secs(1),
+        ))
+        .run_steps(2)
+        .unwrap();
+    assert_eq!(degraded.faults.link_degrades, 1);
+    assert_eq!(degraded.step_boundaries.len(), 2);
+
+    // A GPU failure aborts a multi-step run even with the policy on:
+    // replan is a per-step decision (run_step), not a mid-run one.
+    let err = tuner(GptConfig::gpt_3b())
+        .faults(FaultSchedule::new().fail_gpu(0, SimTime::from_millis(50)))
+        .resilience(ResiliencePolicy::recover())
+        .run_steps(2)
+        .unwrap_err();
+    assert!(matches!(err, RunError::Fault(_)), "{err}");
+}
+
+#[test]
+fn zero_systems_reject_fault_schedules() {
+    let err = FineTuner::new(GptConfig::gpt_8b())
+        .topology(commodity(&[2, 2]))
+        .system(System::DeepSpeedHetero)
+        .faults(FaultSchedule::new().stall(SimTime::from_millis(1), SimTime::from_millis(5)))
+        .run_step()
+        .unwrap_err();
+    assert!(matches!(err, RunError::Unsupported(_)), "{err}");
+}
