@@ -17,6 +17,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod resilience;
+pub mod scaling;
 pub mod schedules;
 pub mod steady_state;
 pub mod table1;
@@ -49,7 +50,8 @@ pub fn run_all(quick: bool) -> Vec<Experiment> {
         schedules::run(quick),
     ];
     // Deterministic by construction (min-stage partition, fixed seed) —
-    // see the module docs of `resilience`.
+    // see the module docs of `resilience` and `scaling`.
     all.extend(resilience::run(quick, 42));
+    all.extend(scaling::run(quick, 42));
     all
 }

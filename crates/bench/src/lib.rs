@@ -16,7 +16,9 @@
 pub mod experiments;
 mod report;
 
-pub use report::{emit, fmt_gb, fmt_secs, fmt_x, render_json_report, Experiment};
+pub use report::{
+    emit, fmt_gb, fmt_secs, fmt_x, render_json_report, Experiment, REPORT_SCHEMA_VERSION,
+};
 
 use mobius_sim::Cdf;
 use mobius_topology::{GpuSpec, Topology, ROOT_COMPLEX_GBPS};

@@ -146,9 +146,21 @@ impl Experiment {
     }
 }
 
-/// Renders a set of experiments as one JSON array document.
+/// Version of the JSON report layout. Bump when the shape of the document
+/// produced by [`render_json_report`] changes incompatibly, so downstream
+/// consumers can detect what they are parsing.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Renders a set of experiments as one JSON document:
+/// `{"schema_version":1,"experiments":[...]}`.
 pub fn render_json_report<'a, I: IntoIterator<Item = &'a Experiment>>(experiments: I) -> String {
-    let mut s = json::array(experiments.into_iter().map(Experiment::render_json));
+    let mut s = json::object([
+        ("schema_version", REPORT_SCHEMA_VERSION.to_string()),
+        (
+            "experiments",
+            json::array(experiments.into_iter().map(Experiment::render_json)),
+        ),
+    ]);
     s.push('\n');
     s
 }
@@ -234,8 +246,8 @@ mod tests {
              \"notes\":[\"observation\"]}"
         );
         let report = render_json_report([&sample(), &sample()]);
-        assert!(report.starts_with('['));
-        assert!(report.ends_with("]\n"));
+        assert!(report.starts_with("{\"schema_version\":1,\"experiments\":["));
+        assert!(report.ends_with("]}\n"));
     }
 
     #[test]

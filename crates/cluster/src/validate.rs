@@ -1,0 +1,142 @@
+//! Closed-form ring all-reduce traffic identity.
+//!
+//! A ring all-reduce of `G` gradient bytes across `n` servers moves, per
+//! server, `(n−1)` reduce-scatter chunks plus `(n−1)` all-gather chunks of
+//! `G/n` bytes each — `2·(n−1)/n · G` transmitted (and received) bytes. The
+//! identity is independent of bucketing: splitting `G` into buckets splits
+//! each term linearly. This module recomputes the bound from first
+//! principles so a simulator bug cannot hide by miscounting its own flows.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ClusterSyncReport;
+
+/// Bytes each server must transmit (and receive) to ring-all-reduce
+/// `grad_bytes` across `num_servers` servers: `2·(n−1)/n · grad_bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use mobius_cluster::expected_ring_traffic;
+/// assert_eq!(expected_ring_traffic(2, 1e9), 1e9);
+/// assert_eq!(expected_ring_traffic(4, 1e9), 1.5e9);
+/// ```
+pub fn expected_ring_traffic(num_servers: usize, grad_bytes: f64) -> f64 {
+    if num_servers < 2 {
+        return 0.0;
+    }
+    let n = num_servers as f64;
+    2.0 * (n - 1.0) / n * grad_bytes
+}
+
+/// A server whose measured fabric traffic drifted from the ring identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingTrafficViolation {
+    /// The offending server.
+    pub server: usize,
+    /// Which direction drifted (`"tx"` or `"rx"`).
+    pub direction: &'static str,
+    /// Bytes the simulator accounted for.
+    pub measured: f64,
+    /// Bytes the closed form demands.
+    pub expected: f64,
+}
+
+impl fmt::Display for RingTrafficViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let off = if self.expected > 0.0 {
+            (self.measured - self.expected) / self.expected * 100.0
+        } else {
+            0.0
+        };
+        write!(
+            f,
+            "server {} {}: measured {:.0} B, expected {:.0} B ({:+.4}%)",
+            self.server, self.direction, self.measured, self.expected, off
+        )
+    }
+}
+
+impl Error for RingTrafficViolation {}
+
+/// Checks a finished synchronization against the closed-form ring identity:
+/// every server's transmitted and received bytes must equal
+/// [`expected_ring_traffic`]`(num_servers, grad_bytes)` within `1e-6`
+/// relative tolerance (floored at one byte for tiny models).
+///
+/// # Errors
+///
+/// The first [`RingTrafficViolation`] found, scanning servers in order
+/// (tx before rx).
+pub fn verify_ring_identity(
+    report: &ClusterSyncReport,
+    num_servers: usize,
+    grad_bytes: f64,
+) -> Result<(), RingTrafficViolation> {
+    let want = expected_ring_traffic(num_servers, grad_bytes);
+    let tol = 1.0f64.max(1e-6 * want);
+    for (dir, measured) in [("tx", &report.per_server_tx), ("rx", &report.per_server_rx)] {
+        for (s, &got) in measured.iter().enumerate() {
+            if (got - want).abs() > tol {
+                return Err(RingTrafficViolation {
+                    server: s,
+                    direction: dir,
+                    measured: got,
+                    expected: want,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobius_sim::{SimTime, TraceRecorder};
+
+    fn report(tx: Vec<f64>, rx: Vec<f64>) -> ClusterSyncReport {
+        ClusterSyncReport {
+            sync_done: SimTime::ZERO,
+            bucket_done: vec![],
+            per_server_tx: tx,
+            per_server_rx: rx,
+            trace: TraceRecorder::new(),
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_hand_values() {
+        assert_eq!(expected_ring_traffic(1, 1e9), 0.0);
+        assert_eq!(expected_ring_traffic(2, 1e9), 1e9);
+        assert_eq!(expected_ring_traffic(3, 3e9), 4e9);
+        assert_eq!(expected_ring_traffic(8, 8e9), 14e9);
+    }
+
+    #[test]
+    fn exact_traffic_passes() {
+        let want = expected_ring_traffic(4, 2e9);
+        let rep = report(vec![want; 4], vec![want; 4]);
+        assert!(verify_ring_identity(&rep, 4, 2e9).is_ok());
+    }
+
+    #[test]
+    fn rx_drift_is_reported_with_direction() {
+        let want = expected_ring_traffic(3, 1e9);
+        let rep = report(vec![want; 3], vec![want, want + 5e3, want]);
+        let err = verify_ring_identity(&rep, 3, 1e9).unwrap_err();
+        assert_eq!(err.server, 1);
+        assert_eq!(err.direction, "rx");
+        let msg = err.to_string();
+        assert!(msg.contains("server 1 rx"), "{msg}");
+    }
+
+    #[test]
+    fn tolerance_floors_at_one_byte() {
+        // A 10-byte model: absolute drift of 0.5 B is inside the 1 B floor.
+        let want = expected_ring_traffic(2, 10.0);
+        let rep = report(vec![want + 0.5, want], vec![want; 2]);
+        assert!(verify_ring_identity(&rep, 2, 10.0).is_ok());
+    }
+}

@@ -5,6 +5,7 @@
 //! mobius-cli step    --model 15b --topo 2+2 --system mobius|gpipe|ds-pipe|ds-hetero|zero-offload
 //! mobius-cli report  --model 15b --topo 2+2 --system mobius
 //! mobius-cli compare --model 15b --topo 2+2
+//! mobius-cli cluster --model 15b --topo 2+2 --servers 4 --nic-gbps 12.5
 //! ```
 //!
 //! Topologies: `4`, `1+3`, `2+2`, `4+4`, … (commodity 3090-Ti groups) or
@@ -17,7 +18,7 @@ use std::process::ExitCode;
 
 use mobius::obs::Obs;
 use mobius::sim::{FaultSchedule, SimTime};
-use mobius::{FineTuner, ResiliencePolicy, RunError, System};
+use mobius::{ClusterConfig, FineTuner, ResiliencePolicy, RunError, System};
 use mobius_model::{GptConfig, Model};
 use mobius_pipeline::{evaluate_analytic, render_gantt, MemoryMode, PipelineConfig};
 use mobius_topology::{GpuSpec, Topology};
@@ -87,7 +88,12 @@ usage:
                      [--faults SPEC] [--seed N] [--recover]
   mobius-cli report  --model <..> --topo <..> --system <..>
   mobius-cli compare --model <..> --topo <..>
+  mobius-cli cluster --model <..> --topo <..> --servers N [--nic-gbps G] [--switch-gbps S]
+                     [--system <mobius|ds-hetero>] [--trace-out FILE]
 topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
+cluster scales the server out N ways: Mobius runs one pipeline replica per
+  server with a ring all-reduce over the NICs; ds-hetero shards ZeRO-3
+  across every GPU of every server
 add --strict to re-check every schedule and trace against the paper's constraints
 --trace-out writes a Chrome trace-event JSON (open in Perfetto or chrome://tracing)
 --faults injects a deterministic fault schedule; SPEC is comma-separated
@@ -107,6 +113,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--metrics-out",
     "--faults",
     "--seed",
+    "--servers",
+    "--nic-gbps",
+    "--switch-gbps",
 ];
 
 /// Flags that stand alone.
@@ -186,6 +195,35 @@ fn run(args: &[String]) -> Result<(), CliError> {
             report(tuner.system(system))
         }
         "compare" => compare(tuner),
+        "cluster" => {
+            let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
+            let servers: usize = flag(args, "--servers")
+                .ok_or_else(|| usage("cluster needs --servers"))?
+                .parse()
+                .map_err(|_| usage("bad --servers"))?;
+            if servers == 0 {
+                return Err(usage("bad --servers: need at least one server"));
+            }
+            let nic: f64 = flag(args, "--nic-gbps")
+                .map(|s| s.parse().map_err(|_| usage("bad --nic-gbps")))
+                .transpose()?
+                .unwrap_or(mobius_topology::COMMODITY_NIC_GBPS);
+            if !(nic.is_finite() && nic > 0.0) {
+                return Err(usage("bad --nic-gbps: need a positive bandwidth"));
+            }
+            let mut cfg = ClusterConfig::new(servers, nic);
+            if let Some(s) = flag(args, "--switch-gbps") {
+                let gbps: f64 = s.parse().map_err(|_| usage("bad --switch-gbps"))?;
+                if !(gbps.is_finite() && gbps > 0.0) {
+                    return Err(usage("bad --switch-gbps: need a positive bandwidth"));
+                }
+                cfg = cfg.switch_gbps(gbps);
+            }
+            cluster_step(
+                tuner.system(system).cluster(cfg),
+                flag(args, "--trace-out").as_deref(),
+            )
+        }
         other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
@@ -323,6 +361,53 @@ fn step(
         std::fs::write(path, obs.metrics_json())
             .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
         println!("wrote metrics to {path}");
+    }
+    Ok(())
+}
+
+fn cluster_step(tuner: FineTuner, trace_out: Option<&str>) -> Result<(), CliError> {
+    let obs = Obs::new();
+    let tuner = if trace_out.is_some() {
+        tuner.observe(obs.clone())
+    } else {
+        tuner
+    };
+    let r = tuner.run_step()?;
+    println!(
+        "{}: step {}  traffic {:.1} GB total  ${:.4}/step",
+        r.system.label(),
+        r.step_time,
+        r.traffic_total() / 1e9,
+        r.price_usd,
+    );
+    match &r.cluster {
+        Some(cl) => {
+            println!(
+                "cluster: {} servers, sync done {}, {:.2} GB gradients/server",
+                cl.num_servers,
+                cl.sync_done,
+                cl.grad_bytes / 1e9,
+            );
+            println!(
+                "{:<8} {:>12} {:>12} {:>12}",
+                "server", "local step", "NIC tx", "NIC rx"
+            );
+            for (s, srv) in cl.servers.iter().enumerate() {
+                println!(
+                    "{:<8} {:>12} {:>10.2}GB {:>10.2}GB",
+                    s,
+                    srv.local_step.to_string(),
+                    srv.nic_tx_bytes / 1e9,
+                    srv.nic_rx_bytes / 1e9,
+                );
+            }
+        }
+        None => println!("cluster: 1 server — identical to a single-server run"),
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs.chrome_trace_json())
+            .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
+        println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
     }
     Ok(())
 }
@@ -520,6 +605,47 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 5, "{err}");
+    }
+
+    #[test]
+    fn cluster_flag_validation() {
+        let err = run(&argv(&["cluster", "--model", "gpt2"])).unwrap_err();
+        assert!(err.to_string().contains("--servers"), "{err}");
+        let err = run(&argv(&["cluster", "--servers", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run(&argv(&["cluster", "--servers", "2", "--nic-gbps", "-1"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        // Systems without a cluster path surface the library error.
+        let err = run(&argv(&[
+            "cluster",
+            "--model",
+            "gpt2",
+            "--servers",
+            "2",
+            "--system",
+            "gpipe",
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Run(RunError::Unsupported(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cluster_step_runs_end_to_end() {
+        run(&argv(&[
+            "cluster",
+            "--model",
+            "gpt2",
+            "--servers",
+            "2",
+            "--nic-gbps",
+            "12.5",
+        ]))
+        .unwrap();
+        // 1-server clusters are valid and fall back to the plain path.
+        run(&argv(&["cluster", "--model", "gpt2", "--servers", "1"])).unwrap();
     }
 
     #[test]

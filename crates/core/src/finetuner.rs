@@ -3,6 +3,7 @@
 
 use std::time::{Duration, Instant};
 
+use mobius_cluster::{simulate_ring_allreduce, ClusterDpConfig, ReplicaTiming};
 use mobius_mapping::{Mapping, MappingAlgo};
 use mobius_model::{GptConfig, Model};
 use mobius_obs::{AttrValue, Lane, Obs};
@@ -13,9 +14,10 @@ use mobius_pipeline::{
 };
 use mobius_profiler::{ModelProfile, Profiler};
 use mobius_sim::{Cdf, FaultAbort, FaultSchedule, FaultStats, SimTime, TraceRecorder};
-use mobius_topology::Topology;
+use mobius_topology::{Cluster, Topology};
 use mobius_zero::{
-    simulate_zero_offload_step_traced, simulate_zero_step_traced, ZeroConfig, DS_PIPELINE_OVERHEAD,
+    simulate_cluster_zero_step, simulate_zero_offload_step_traced, simulate_zero_step_traced,
+    ClusterZeroConfig, ZeroConfig, DS_PIPELINE_OVERHEAD,
 };
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +66,72 @@ pub struct Overheads {
     pub cross_map_secs: f64,
 }
 
+/// Multi-server scale-out configuration: `servers` identical replicas of
+/// the configured server topology, joined by per-server NICs through a
+/// cluster switch. Mobius runs one pipeline replica per server with a
+/// bucketed ring all-reduce for gradients (hierarchical data parallelism);
+/// DeepSpeed-hetero shards ZeRO-3 across every GPU of every server.
+///
+/// A 1-server cluster is treated exactly as no cluster at all, so attaching
+/// one cannot perturb a single-server run (bit-identical results).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of servers (each running the configured [`Topology`]).
+    pub servers: usize,
+    /// Per-server NIC bandwidth in GB/s, each direction.
+    pub nic_gbps: f64,
+    /// Switch fabric capacity in GB/s; `None` means non-blocking
+    /// (`nic_gbps × servers`).
+    pub switch_gbps: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `servers` servers with `nic_gbps` NICs and a
+    /// non-blocking switch.
+    pub fn new(servers: usize, nic_gbps: f64) -> Self {
+        ClusterConfig {
+            servers,
+            nic_gbps,
+            switch_gbps: None,
+        }
+    }
+
+    /// Caps the switch fabric (models an oversubscribed cluster switch).
+    pub fn switch_gbps(mut self, gbps: f64) -> Self {
+        self.switch_gbps = Some(gbps);
+        self
+    }
+}
+
+/// One server's share of a cluster step.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServerStepBreakdown {
+    /// The replica's local pipeline (or ZeRO) step time.
+    pub local_step: SimTime,
+    /// Bytes the server transmitted onto the NIC fabric.
+    pub nic_tx_bytes: f64,
+    /// Bytes the server received from the NIC fabric.
+    pub nic_rx_bytes: f64,
+}
+
+/// The cross-server portion of a cluster step: gradient-synchronization
+/// timing and per-server NIC accounting.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterStepReport {
+    /// Servers in the cluster.
+    pub num_servers: usize,
+    /// When cross-server gradient synchronization finished.
+    pub sync_done: SimTime,
+    /// FP16 gradient bytes synchronized per server (the `G` of the ring
+    /// identity `2·(n−1)/n · G`).
+    pub grad_bytes: f64,
+    /// Per gradient bucket, when its collective completed (empty for the
+    /// ZeRO path, whose collectives are per layer, not per bucket).
+    pub bucket_done: Vec<SimTime>,
+    /// Per-server breakdown, indexed by server.
+    pub servers: Vec<ServerStepBreakdown>,
+}
+
 /// A resolved Mobius execution plan.
 #[derive(Debug, Clone)]
 pub struct Plan {
@@ -104,6 +172,9 @@ pub struct StepReport {
     /// Recovery steps the [`ResiliencePolicy`] took to complete this step,
     /// in the order taken. Empty when the step ran as configured.
     pub degradations: Vec<Degradation>,
+    /// Cross-server accounting of a multi-server run. `None` for
+    /// single-server runs (including a configured 1-server cluster).
+    pub cluster: Option<ClusterStepReport>,
 }
 
 impl StepReport {
@@ -164,6 +235,7 @@ pub struct FineTuner {
     obs: Option<Obs>,
     faults: Option<FaultSchedule>,
     resilience: ResiliencePolicy,
+    cluster: Option<ClusterConfig>,
 }
 
 impl FineTuner {
@@ -193,6 +265,7 @@ impl FineTuner {
             obs: None,
             faults: None,
             resilience: ResiliencePolicy::default(),
+            cluster: None,
         }
     }
 
@@ -293,6 +366,14 @@ impl FineTuner {
         self
     }
 
+    /// Scales the run out to a multi-server cluster ([`ClusterConfig`]).
+    /// Mobius and DeepSpeed-hetero have cluster paths; other systems
+    /// reject a multi-server config with [`RunError::Unsupported`].
+    pub fn cluster(mut self, cfg: ClusterConfig) -> Self {
+        self.cluster = Some(cfg);
+        self
+    }
+
     /// The effective microbatch size.
     pub fn mbs(&self) -> usize {
         self.microbatch_size
@@ -313,6 +394,20 @@ impl FineTuner {
     /// unfaulted run.
     fn active_faults(&self) -> Option<&FaultSchedule> {
         self.faults.as_ref().filter(|f| !f.is_empty())
+    }
+
+    /// The effective cluster, if genuinely multi-server. A 1-server cluster
+    /// is treated exactly as none — the single-server code path runs
+    /// unchanged — so that scale-out configuration cannot perturb a
+    /// single-server run.
+    fn active_cluster(&self) -> Option<Cluster> {
+        self.cluster.as_ref().filter(|c| c.servers > 1).map(|c| {
+            let cl = Cluster::new(self.topo.clone(), c.servers, c.nic_gbps);
+            match c.switch_gbps {
+                Some(g) => cl.with_switch_gbps(g),
+                None => cl,
+            }
+        })
     }
 
     fn profiler(&self) -> Profiler {
@@ -423,6 +518,15 @@ impl FineTuner {
     /// [`ResiliencePolicy`] cannot (or may not) recover it.
     pub fn run_step(&self) -> Result<StepReport, RunError> {
         let model_size = self.model.model_size_bytes();
+        if self.active_cluster().is_some()
+            && !matches!(self.system, System::Mobius | System::DeepSpeedHetero)
+        {
+            return Err(RunError::Unsupported(format!(
+                "multi-server scale-out is modeled for Mobius and DeepSpeed-hetero; \
+                 {} has no cluster path",
+                self.system.label()
+            )));
+        }
         match self.system {
             System::Mobius => self.run_mobius_step(model_size),
             System::Gpipe | System::DeepSpeedPipeline => {
@@ -460,7 +564,11 @@ impl FineTuner {
             }
             System::DeepSpeedHetero => {
                 self.reject_faults()?;
-                self.zero_hetero_step(&self.topo, model_size)
+                let mut rep = self.zero_hetero_step(&self.topo, model_size)?;
+                if let Some(cluster) = self.active_cluster() {
+                    self.attach_cluster_zero(&mut rep, &cluster)?;
+                }
+                Ok(rep)
             }
             System::ZeroOffload => {
                 self.reject_faults()?;
@@ -494,8 +602,24 @@ impl FineTuner {
             match attempt {
                 Ok(sim) => {
                     carried.absorb(&sim.faults);
+                    let local_step = sim.step_time;
                     let mut rep = self.report(sim.step_time, sim.drain_time, sim.trace, model_size);
                     rep.faults = carried;
+                    if let Some(cluster) = self.active_cluster() {
+                        let timing = ReplicaTiming {
+                            bucket_bytes: sim.stage_grads,
+                            ready: sim.grad_flush,
+                        };
+                        // Only a GPU loss desynchronizes this replica from
+                        // the rest of the cluster; planning degradations
+                        // (MoreStages) hit every server identically.
+                        let replanned = degradations
+                            .iter()
+                            .any(|d| matches!(d.action, DegradeAction::ElasticReplan { .. }));
+                        self.attach_cluster_sync(
+                            &mut rep, &cluster, timing, local_step, replanned,
+                        )?;
+                    }
                     rep.degradations = degradations;
                     return Ok(rep);
                 }
@@ -549,6 +673,24 @@ impl FineTuner {
                         }
                         let mut rep = self.zero_hetero_step(&topo, model_size)?;
                         rep.faults = carried;
+                        if let Some(cluster) = self.active_cluster() {
+                            // ZeRO gives no per-stage flush times: the whole
+                            // gradient is one bucket, ready at step end.
+                            let (_, profile) = self.profile();
+                            let grad: f64 =
+                                profile.layers().iter().map(|l| l.grad_bytes as f64).sum();
+                            let timing = ReplicaTiming {
+                                bucket_bytes: vec![grad],
+                                ready: vec![rep.step_time],
+                            };
+                            let replanned = degradations
+                                .iter()
+                                .any(|d| matches!(d.action, DegradeAction::ElasticReplan { .. }));
+                            let local_step = rep.step_time;
+                            self.attach_cluster_sync(
+                                &mut rep, &cluster, timing, local_step, replanned,
+                            )?;
+                        }
                         rep.degradations = degradations;
                         return Ok(rep);
                     }
@@ -569,21 +711,147 @@ impl FineTuner {
         cfg: &PipelineConfig,
         faults: &FaultSchedule,
     ) -> Result<MobiusSim, AttemptError> {
+        let stage_grads: Vec<f64> = stages.iter().map(|s| s.grad_bytes as f64).collect();
         if faults.is_empty() {
             return simulate_step_traced(stages, mapping, topo, cfg, self.obs.as_ref())
-                .map(MobiusSim::from)
+                .map(|sim| {
+                    let mut m = MobiusSim::from(sim);
+                    m.stage_grads = stage_grads;
+                    m
+                })
                 .map_err(|e| AttemptError::Run(e.into()));
         }
         match simulate_steps_faulted(stages, mapping, topo, cfg, 1, faults, self.obs.as_ref()) {
-            Ok(multi) => Ok(MobiusSim {
-                step_time: multi.step_boundaries[0],
-                drain_time: multi.drain_time,
-                trace: multi.trace,
-                faults: multi.faults,
-            }),
+            Ok(mut multi) => {
+                let grad_flush = std::mem::take(&mut multi.grad_flush[0]);
+                Ok(MobiusSim {
+                    step_time: multi.step_boundaries[0],
+                    drain_time: multi.drain_time,
+                    trace: multi.trace,
+                    faults: multi.faults,
+                    grad_flush,
+                    stage_grads,
+                })
+            }
             Err(ExecError::Schedule(e)) => Err(AttemptError::Run(e.into())),
             Err(ExecError::Fault { abort, stats }) => Err(AttemptError::Fault { abort, stats }),
         }
+    }
+
+    /// Runs the cross-server ring all-reduce for one step of this replica
+    /// and folds it into the report: the sync trace merges in, step and
+    /// drain extend to the synchronization, the price covers every server.
+    ///
+    /// When `degraded`, this server replanned around a lost GPU and its
+    /// bucket structure no longer matches the healthy replicas', so every
+    /// replica collapses to one whole-model bucket
+    /// ([`ReplicaTiming::collapsed`]) and the healthy servers' timing comes
+    /// from an unfaulted shadow simulation.
+    fn attach_cluster_sync(
+        &self,
+        rep: &mut StepReport,
+        cluster: &Cluster,
+        this: ReplicaTiming,
+        local_step: SimTime,
+        degraded: bool,
+    ) -> Result<(), RunError> {
+        let n = cluster.num_servers();
+        let (replicas, local_steps) = if degraded {
+            let healthy = self.healthy_shadow()?;
+            let healthy_timing = ReplicaTiming {
+                bucket_bytes: healthy.stage_grads,
+                ready: healthy.grad_flush,
+            }
+            .collapsed();
+            let mut replicas = vec![healthy_timing; n];
+            replicas[0] = this.collapsed();
+            let mut steps = vec![healthy.step_time; n];
+            steps[0] = local_step;
+            (replicas, steps)
+        } else {
+            (vec![this; n], vec![local_step; n])
+        };
+        let grad_bytes = replicas[0].total_bytes();
+        let cfg = ClusterDpConfig {
+            strict_validation: self.strict_validation,
+        };
+        let sync = simulate_ring_allreduce(cluster, &replicas, &cfg, self.obs.as_ref())
+            .map_err(|e| RunError::Unsupported(e.to_string()))?;
+        rep.trace.merge(&sync.trace);
+        rep.cluster = Some(ClusterStepReport {
+            num_servers: n,
+            sync_done: sync.sync_done,
+            grad_bytes,
+            bucket_done: sync.bucket_done,
+            servers: (0..n)
+                .map(|s| ServerStepBreakdown {
+                    local_step: local_steps[s],
+                    nic_tx_bytes: sync.per_server_tx[s],
+                    nic_rx_bytes: sync.per_server_rx[s],
+                })
+                .collect(),
+        });
+        let step = local_steps
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(local_step)
+            .max(sync.sync_done);
+        rep.step_time = step;
+        rep.drain_time = rep.drain_time.max(step);
+        rep.price_usd = pricing::step_price_usd(&self.topo, step) * n as f64;
+        Ok(())
+    }
+
+    /// Runs the NIC side of a cluster-scale ZeRO-3 step and folds it into
+    /// the local report (the intra-server PCIe side): the step is bounded
+    /// by the slower of the two, traces merge, the price covers every
+    /// server.
+    fn attach_cluster_zero(&self, rep: &mut StepReport, cluster: &Cluster) -> Result<(), RunError> {
+        let (_, profile) = self.profile();
+        let cfg = ClusterZeroConfig {
+            prefetch: self.prefetch,
+            strict_validation: self.strict_validation,
+        };
+        let nic = simulate_cluster_zero_step(&profile, cluster, &cfg, self.obs.as_ref())?;
+        let n = cluster.num_servers();
+        let local = rep.step_time;
+        rep.trace.merge(&nic.trace);
+        rep.cluster = Some(ClusterStepReport {
+            num_servers: n,
+            sync_done: nic.step_time,
+            grad_bytes: profile.layers().iter().map(|l| l.grad_bytes as f64).sum(),
+            bucket_done: Vec::new(),
+            servers: (0..n)
+                .map(|s| ServerStepBreakdown {
+                    local_step: local,
+                    nic_tx_bytes: nic.nic_bytes_per_server[s],
+                    // The pairwise mesh is symmetric: each server receives
+                    // exactly what it transmits.
+                    nic_rx_bytes: nic.nic_bytes_per_server[s],
+                })
+                .collect(),
+        });
+        let step = local.max(nic.step_time);
+        rep.step_time = step;
+        rep.drain_time = rep.drain_time.max(step);
+        rep.price_usd = pricing::step_price_usd(&self.topo, step) * n as f64;
+        Ok(())
+    }
+
+    /// An unfaulted, unobserved simulation of the originally configured
+    /// server: the timing of the cluster's healthy replicas after this
+    /// server degraded. Runs without the observer so the shadow leaves no
+    /// spans in this server's trace.
+    fn healthy_shadow(&self) -> Result<MobiusSim, RunError> {
+        let mut quiet = self.clone();
+        quiet.obs = None;
+        let plan = quiet.plan()?;
+        let cfg = quiet.pipeline_cfg(MemoryMode::Heterogeneous);
+        let sim = simulate_step_traced(&plan.stages, &plan.mapping, &quiet.topo, &cfg, None)?;
+        let mut m = MobiusSim::from(sim);
+        m.stage_grads = plan.stages.iter().map(|s| s.grad_bytes as f64).collect();
+        Ok(m)
     }
 
     /// The ZeRO-hetero step on an arbitrary topology (also the last rung
@@ -636,6 +904,11 @@ impl FineTuner {
     /// (multi-step runs never replan — recovery is per-step, see
     /// [`FineTuner::run_step`]).
     pub fn run_steps(&self, k: usize) -> Result<MultiStepReport, RunError> {
+        if self.active_cluster().is_some() {
+            return Err(RunError::Unsupported(
+                "multi-step cluster runs are not modeled; run_step() per step instead".into(),
+            ));
+        }
         match self.system {
             System::Mobius => {
                 let plan = self.plan()?;
@@ -706,6 +979,7 @@ impl FineTuner {
             model_size_bytes,
             faults: FaultStats::default(),
             degradations: Vec::new(),
+            cluster: None,
         }
     }
 }
@@ -716,6 +990,13 @@ struct MobiusSim {
     drain_time: SimTime,
     trace: TraceRecorder,
     faults: FaultStats,
+    /// Per stage, when its gradients finished flushing to DRAM — the
+    /// cluster ring's bucket-ready times.
+    grad_flush: Vec<SimTime>,
+    /// Per stage, FP16 gradient bytes — the cluster ring's bucket sizes.
+    /// Empty on paths that never reach the cluster sync (GPipe/DeepSpeed
+    /// pipeline).
+    stage_grads: Vec<f64>,
 }
 
 impl From<mobius_pipeline::SimStepReport> for MobiusSim {
@@ -725,6 +1006,8 @@ impl From<mobius_pipeline::SimStepReport> for MobiusSim {
             drain_time: sim.drain_time,
             trace: sim.trace,
             faults: sim.faults,
+            grad_flush: sim.grad_flush,
+            stage_grads: Vec::new(),
         }
     }
 }
@@ -930,5 +1213,115 @@ mod tests {
         let t = FineTuner::new(GptConfig::gpt_15b());
         assert_eq!(t.mbs(), 1);
         assert_eq!(t.microbatches(), 4);
+    }
+
+    /// A deterministic tuner for cluster tests: cheap partitioning, pinned
+    /// microbatches, strict validation.
+    fn cluster_tuner(system: System) -> FineTuner {
+        FineTuner::new(GptConfig::gpt_3b())
+            .topology(commodity(&[2, 2]))
+            .system(system)
+            .partition_algo(PartitionAlgo::MinStage)
+            .num_microbatches(4)
+            .strict_validation(true)
+    }
+
+    #[test]
+    fn one_server_cluster_is_identical_to_no_cluster() {
+        let plain = cluster_tuner(System::Mobius).run_step().unwrap();
+        let one = cluster_tuner(System::Mobius)
+            .cluster(ClusterConfig::new(1, 12.5))
+            .run_step()
+            .unwrap();
+        assert_eq!(plain.step_time, one.step_time);
+        assert_eq!(plain.traffic_total(), one.traffic_total());
+        assert!(one.cluster.is_none());
+    }
+
+    #[test]
+    fn mobius_cluster_traffic_obeys_the_ring_identity() {
+        let rep = cluster_tuner(System::Mobius)
+            .cluster(ClusterConfig::new(4, 12.5))
+            .run_step()
+            .unwrap();
+        let cl = rep.cluster.as_ref().expect("cluster accounting");
+        assert_eq!(cl.num_servers, 4);
+        let want = 2.0 * 3.0 / 4.0 * cl.grad_bytes;
+        for srv in &cl.servers {
+            assert!(
+                (srv.nic_tx_bytes - want).abs() <= 1e-6 * want,
+                "tx {} vs {want}",
+                srv.nic_tx_bytes
+            );
+        }
+        // Sync can only extend the step, never shrink it.
+        assert!(rep.step_time >= cl.servers[0].local_step);
+    }
+
+    #[test]
+    fn slow_nic_stretches_the_cluster_step() {
+        let t = |nic: f64| {
+            cluster_tuner(System::Mobius)
+                .cluster(ClusterConfig::new(4, nic))
+                .run_step()
+                .unwrap()
+                .step_time
+        };
+        assert!(t(1.0) > t(12.5), "{} !> {}", t(1.0), t(12.5));
+    }
+
+    #[test]
+    fn hetero_cluster_nic_traffic_grows_with_servers() {
+        let tx = |n: usize| {
+            let rep = cluster_tuner(System::DeepSpeedHetero)
+                .cluster(ClusterConfig::new(n, 12.5))
+                .run_step()
+                .unwrap();
+            let cl = rep.cluster.unwrap();
+            cl.servers.iter().map(|s| s.nic_tx_bytes).sum::<f64>()
+        };
+        let t2 = tx(2);
+        let t4 = tx(4);
+        // Total cluster-ZeRO NIC traffic ∝ (S−1): 4 servers ≈ 3× 2 servers.
+        assert!((t4 / t2 - 3.0).abs() < 1e-6, "{}", t4 / t2);
+    }
+
+    #[test]
+    fn cluster_rejected_for_systems_without_a_path() {
+        for system in [
+            System::Gpipe,
+            System::DeepSpeedPipeline,
+            System::ZeroOffload,
+        ] {
+            let err = cluster_tuner(system)
+                .cluster(ClusterConfig::new(2, 12.5))
+                .run_step()
+                .unwrap_err();
+            assert!(matches!(err, RunError::Unsupported(_)), "{system:?}: {err}");
+        }
+        let err = cluster_tuner(System::Mobius)
+            .cluster(ClusterConfig::new(2, 12.5))
+            .run_steps(2)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn gpu_loss_inside_one_server_still_synchronizes() {
+        let schedule = FaultSchedule::new().fail_gpu(3, SimTime::from_millis(1));
+        let rep = cluster_tuner(System::Mobius)
+            .cluster(ClusterConfig::new(2, 12.5))
+            .faults(schedule)
+            .resilience(ResiliencePolicy::recover())
+            .run_step()
+            .unwrap();
+        assert!(!rep.degradations.is_empty());
+        let cl = rep.cluster.as_ref().expect("cluster accounting");
+        // Degraded replicas collapse to one whole-model bucket.
+        assert_eq!(cl.bucket_done.len(), 1);
+        let want = cl.grad_bytes; // 2·(2−1)/2 · G = G
+        for srv in &cl.servers {
+            assert!((srv.nic_tx_bytes - want).abs() <= 1e-6 * want);
+        }
     }
 }

@@ -48,10 +48,14 @@ pub mod pricing;
 mod resilience;
 
 pub use error::{OomCause, RunError};
-pub use finetuner::{FineTuner, Overheads, Plan, StepReport, System};
+pub use finetuner::{
+    ClusterConfig, ClusterStepReport, FineTuner, Overheads, Plan, ServerStepBreakdown, StepReport,
+    System,
+};
 pub use resilience::{Degradation, DegradeAction, ResiliencePolicy};
 
 // Re-export the sub-crates so downstream users need a single dependency.
+pub use mobius_cluster as cluster;
 pub use mobius_mapping as mapping;
 pub use mobius_mip as mip;
 pub use mobius_model as model;

@@ -15,6 +15,7 @@ const PID_RUN: u32 = 0;
 const PID_GPU: u32 = 1;
 const PID_LINK: u32 = 2;
 const PID_SOLVER: u32 = 3;
+const PID_SERVER: u32 = 4;
 
 /// Nanoseconds to a microsecond JSON number with ns precision.
 fn us(ns: u64) -> String {
@@ -83,6 +84,24 @@ pub fn export(log: &EventLog) -> String {
     for name in &sorted {
         events.push(meta(PID_LINK, link_tids[name], "thread_name", name));
     }
+    // The servers process exists only when a cluster run recorded server
+    // events, so single-server traces stay byte-identical.
+    let mut server_tids: Vec<u32> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e.lane {
+            Lane::Server(s) => Some(s as u32),
+            _ => None,
+        })
+        .collect();
+    server_tids.sort_unstable();
+    server_tids.dedup();
+    if !server_tids.is_empty() {
+        events.push(meta(PID_SERVER, 0, "process_name", "servers"));
+        for s in &server_tids {
+            events.push(meta(PID_SERVER, *s, "thread_name", &format!("server{s}")));
+        }
+    }
 
     for e in log.events() {
         let (pid, tid) = match &e.lane {
@@ -90,6 +109,7 @@ pub fn export(log: &EventLog) -> String {
             Lane::Gpu(g) => (PID_GPU, *g as u32),
             Lane::Link(name) => (PID_LINK, link_tids[name.as_str()]),
             Lane::Solver => (PID_SOLVER, 0),
+            Lane::Server(s) => (PID_SERVER, *s as u32),
         };
         let mut fields = vec![
             ("name", json::string(&e.name)),
@@ -197,5 +217,27 @@ mod tests {
             assert!(out.contains(&format!("\"args\":{{\"name\":\"{p}\"}}")));
         }
         assert!(out.contains("\"name\":\"gpu0\""));
+    }
+
+    #[test]
+    fn server_lanes_get_their_own_process_only_when_present() {
+        // Single-server traces must stay byte-identical: no "servers"
+        // process without a Server event.
+        let out = export(&sample_log());
+        assert!(!out.contains("\"name\":\"servers\""));
+
+        let mut log = sample_log();
+        log.push(Event {
+            lane: Lane::Server(2),
+            cat: "comm",
+            name: "allreduce".into(),
+            start_ns: 10,
+            dur_ns: Some(100),
+            attrs: vec![("bytes", AttrValue::U64(1024))],
+        });
+        let out = export(&log);
+        assert!(out.contains("\"args\":{\"name\":\"servers\"}"));
+        assert!(out.contains("\"name\":\"server2\""));
+        assert!(out.contains("\"name\":\"allreduce\""));
     }
 }

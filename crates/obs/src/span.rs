@@ -4,8 +4,9 @@
 ///
 /// The Chrome exporter maps lanes to process/thread pairs: the run lane and
 /// solver lane get their own processes, GPUs share a "GPUs" process with one
-/// thread per device, and links share a "links" process with one thread per
-/// named link.
+/// thread per device, links share a "links" process with one thread per
+/// named link, and servers share a "servers" process with one thread per
+/// server (emitted only when a cluster run records server events).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lane {
     /// Run-scoped events: planning decisions, violations, step boundaries.
@@ -16,6 +17,9 @@ pub enum Lane {
     Link(String),
     /// The MIP / partition-search timeline (wall-clock stamped).
     Solver,
+    /// A server's timeline in a multi-server cluster run: gradient-bucket
+    /// synchronization spans and replica step boundaries.
+    Server(usize),
 }
 
 /// A typed attribute value attached to an event.

@@ -52,6 +52,11 @@ pub struct SimStepReport {
     pub trace: TraceRecorder,
     /// Fault/recovery accounting (all-zero without a fault schedule).
     pub faults: FaultStats,
+    /// Per stage: when its gradients finished flushing to DRAM — the
+    /// moment a data-parallel replica could start synchronizing that
+    /// stage's gradient bucket. In resident-memory modes (no gradient
+    /// offload flows) this is the step boundary.
+    pub grad_flush: Vec<SimTime>,
 }
 
 /// Result of simulating several consecutive training steps.
@@ -65,6 +70,10 @@ pub struct MultiStepReport {
     pub trace: TraceRecorder,
     /// Fault/recovery accounting (all-zero without a fault schedule).
     pub faults: FaultStats,
+    /// `grad_flush[step][stage]`: when that stage's gradients finished
+    /// flushing to DRAM in that step (the step boundary in
+    /// resident-memory modes, which never launch gradient offloads).
+    pub grad_flush: Vec<Vec<SimTime>>,
 }
 
 /// Why a (possibly faulted) simulation could not produce a report.
@@ -276,6 +285,9 @@ struct Executor<'a> {
     /// `grad_flushed[step][stage]`: gradients reached DRAM, the stage may
     /// reload in step `step + 1`.
     grad_flushed: Vec<Vec<bool>>,
+    /// `grad_flush[step][stage]`: completion time of the gradient flush
+    /// (backfilled with the step boundary where no offload flow ran).
+    grad_flush: Vec<Vec<SimTime>>,
     /// Forward-load slot of `(step, stage)` for gate unblocking.
     fwd_slot_of: HashMap<(usize, usize), (usize, usize)>,
     bwd_done: Vec<usize>,
@@ -333,12 +345,13 @@ pub fn simulate_step_traced(
     cfg: &PipelineConfig,
     obs: Option<&Obs>,
 ) -> Result<SimStepReport, ScheduleError> {
-    let multi = simulate_steps_traced(stages, mapping, topo, cfg, 1, obs)?;
+    let mut multi = simulate_steps_traced(stages, mapping, topo, cfg, 1, obs)?;
     Ok(SimStepReport {
         step_time: multi.step_boundaries[0],
         drain_time: multi.drain_time,
         trace: multi.trace,
         faults: multi.faults,
+        grad_flush: std::mem::take(&mut multi.grad_flush[0]),
     })
 }
 
@@ -556,6 +569,7 @@ fn simulate_steps_inner(
         act_in: vec![vec![vec![false; m]; s]; steps],
         grad_in: vec![vec![vec![false; m]; s]; steps],
         grad_flushed: vec![vec![!hetero; s]; steps],
+        grad_flush: vec![vec![SimTime::ZERO; s]; steps],
         fwd_slot_of,
         bwd_done: vec![0; steps],
         step_boundaries: vec![SimTime::ZERO; steps],
@@ -610,11 +624,22 @@ fn simulate_steps_inner(
             obs.gauge_set("bubble.mean", sum / topo.num_gpus() as f64);
         }
     }
+    // Stages that never launched a gradient offload (resident-memory
+    // modes) have their gradients ready at the step boundary.
+    let mut grad_flush = exec.grad_flush;
+    for (step, flushes) in grad_flush.iter_mut().enumerate() {
+        for t in flushes.iter_mut() {
+            if *t == SimTime::ZERO {
+                *t = exec.step_boundaries[step];
+            }
+        }
+    }
     Ok(MultiStepReport {
         step_boundaries: exec.step_boundaries,
         drain_time,
         trace: exec.trace,
         faults: exec.fault_stats,
+        grad_flush,
     })
 }
 
@@ -1007,6 +1032,7 @@ impl Executor<'_> {
             }
             Purpose::GradOffload { step, stage } => {
                 self.grad_flushed[step][stage] = true;
+                self.grad_flush[step][stage] = self.engine.now();
                 self.unblock_gated_load(step, stage);
             }
             Purpose::Bookkeeping => {}

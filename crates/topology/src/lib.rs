@@ -9,6 +9,8 @@
 //! * [`ServerNetwork`] — the topology instantiated as duplex links in a
 //!   [`mobius_sim::FlowNetwork`], with path lookup for DRAM↔GPU and GPU↔GPU
 //!   transfers.
+//! * [`Cluster`] / [`ClusterNetwork`] — N identical servers joined by
+//!   per-server NICs and a switch fabric, for multi-server scale-out.
 //!
 //! # Example
 //!
@@ -32,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod gpu;
 mod network;
 mod topology;
 
+pub use cluster::{Cluster, ClusterNetwork, COMMODITY_NIC_GBPS};
 pub use gpu::{GpuSpec, GIB};
 pub use network::ServerNetwork;
 pub use topology::{Interconnect, Topology, ROOT_COMPLEX_GBPS};

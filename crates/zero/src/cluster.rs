@@ -1,0 +1,393 @@
+//! Cluster-scale ZeRO-3: parameter shards spanning every GPU of every
+//! server, with the all-gather and reduce-scatter crossing the NIC fabric.
+//!
+//! With `S` servers of `g` GPUs each (`G = g·S` GPUs total), ZeRO-3 shards
+//! every layer `G` ways. Materializing a layer therefore pulls
+//! `(G−g)/G · Pℓ` bytes *per GPU* from remote servers — per server and
+//! ordered server pair that is `g²·Pℓ/G` bytes of NIC traffic, forward and
+//! backward; the backward reduce-scatter ships the same pairwise share of
+//! the gradients back to their shard owners. Summed over a step:
+//!
+//! ```text
+//! total NIC bytes ≈ 2·(S−1)·g·P  +  (S−1)·g·grad
+//! ```
+//!
+//! — *linear* in the server count, while a hierarchical data-parallel ring
+//! (one pipeline replica per server, [`mobius-cluster`]) keeps per-server
+//! traffic below `2 · grad` regardless of `S`. This module simulates the
+//! NIC side of that contrast on the shared [`ClusterNetwork`] so switch and
+//! NIC contention are measured; the intra-server PCIe side is the existing
+//! [`simulate_zero_step`](crate::simulate_zero_step).
+//!
+//! [`mobius-cluster`]: https://docs.rs/mobius-cluster
+
+use std::collections::HashMap;
+
+use mobius_obs::{AttrValue, Lane, Obs};
+use mobius_sim::{CommKind, Engine, FlowId, SimTime, TraceRecorder};
+use mobius_topology::{Cluster, ClusterNetwork};
+
+use crate::{check_memory, ZeroError};
+use mobius_profiler::ModelProfile;
+
+/// Configuration of a cluster-scale ZeRO-3 NIC simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterZeroConfig {
+    /// Whether the next layer's remote shards prefetch during the current
+    /// layer's compute (DeepSpeed default: on).
+    pub prefetch: bool,
+    /// Debug mode: run the fabric with flow-conservation checking and
+    /// verify the measured NIC traffic against the closed form
+    /// ([`expected_cluster_nic_traffic`]). Violations panic.
+    pub strict_validation: bool,
+}
+
+impl Default for ClusterZeroConfig {
+    fn default() -> Self {
+        ClusterZeroConfig {
+            prefetch: true,
+            strict_validation: false,
+        }
+    }
+}
+
+/// Result of simulating the NIC side of one cluster-scale ZeRO-3 step.
+#[derive(Debug, Clone)]
+pub struct ClusterZeroReport {
+    /// When the last gradient shard reached its owner.
+    pub step_time: SimTime,
+    /// Bytes each server transmitted onto the fabric.
+    pub nic_bytes_per_server: Vec<f64>,
+    /// Total NIC bytes across all servers (the `≈ 3·g·P·(S−1)` quantity).
+    pub total_nic_bytes: f64,
+    /// Bandwidth samples and traffic counters for the fabric flows.
+    pub trace: TraceRecorder,
+}
+
+/// Closed-form total NIC bytes of one cluster-ZeRO step: per layer, the
+/// forward and backward all-gathers move `g²·Pℓ/G` bytes per ordered server
+/// pair and the reduce-scatter moves `g²·gradℓ/G`, over `S·(S−1)` pairs.
+pub fn expected_cluster_nic_traffic(profile: &ModelProfile, cluster: &Cluster) -> f64 {
+    let s = cluster.num_servers();
+    if s < 2 {
+        return 0.0;
+    }
+    let g = cluster.server().num_gpus() as f64;
+    let pairs = (s * (s - 1)) as f64;
+    let mut sum = 0.0;
+    for l in profile.layers() {
+        let gather_pair = g * g * l.param_bytes as f64 / (g * s as f64);
+        let reduce_pair = g * g * l.grad_bytes as f64 / (g * s as f64);
+        sum += pairs * (2.0 * gather_pair + reduce_pair);
+    }
+    sum
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    ComputeDone,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Fwd,
+    Bwd,
+}
+
+/// Simulates the cross-server traffic of one ZeRO-3 step on `cluster`'s
+/// NIC fabric. Servers move through the `2L` layer slots in lockstep (they
+/// hold symmetric shards and identical microbatch shapes), so every slot
+/// launches the full mesh of pairwise gather flows simultaneously — which
+/// is exactly what saturates the switch as `S` grows.
+///
+/// A 1-server cluster has no remote shards: the report carries zero NIC
+/// bytes and pure compute time. Callers comparing systems should
+/// structurally skip that degenerate case.
+///
+/// # Errors
+///
+/// Returns [`ZeroError::LayerTooLarge`] if a layer cannot fit on a GPU.
+///
+/// # Panics
+///
+/// With `cfg.strict_validation`, panics when the measured NIC traffic
+/// drifts from the closed form.
+pub fn simulate_cluster_zero_step(
+    profile: &ModelProfile,
+    cluster: &Cluster,
+    cfg: &ClusterZeroConfig,
+    obs: Option<&Obs>,
+) -> Result<ClusterZeroReport, ZeroError> {
+    check_memory(profile, cluster.server().gpu_mem_bytes())?;
+    let layers = profile.layers();
+    let l = layers.len();
+    let s = cluster.num_servers();
+    let g = cluster.server().num_gpus() as f64;
+    let shard_denom = g * s as f64;
+
+    let mut net = ClusterNetwork::new(cluster);
+    if cfg.strict_validation {
+        net.net_mut().set_strict_validation(true);
+    }
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut trace = TraceRecorder::new();
+    if let Some(obs) = obs {
+        trace.set_obs(obs.clone());
+        trace.set_link_labels(net.net().link_labels());
+        net.net_mut().set_obs(obs.clone());
+    }
+
+    let mut per_server_tx = vec![0.0; s];
+    // Flow id → (source server, blocks next compute).
+    let mut flows: HashMap<FlowId, (usize, bool)> = HashMap::new();
+    let mut outstanding = 0usize;
+    let mut launched = vec![false; 2 * l];
+    let mut computing: Option<SimTime> = None;
+    let mut slot = 0usize;
+
+    let slot_layer = |slot: usize| -> (usize, Phase) {
+        if slot < l {
+            (slot, Phase::Fwd)
+        } else {
+            (2 * l - 1 - slot, Phase::Bwd)
+        }
+    };
+
+    // Launches the pairwise NIC gathers a slot needs before computing.
+    macro_rules! launch_slot {
+        ($slot:expr) => {{
+            let sl = $slot;
+            if sl < 2 * l && !launched[sl] && s > 1 {
+                launched[sl] = true;
+                let (layer, _) = slot_layer(sl);
+                let pair_bytes = g * g * layers[layer].param_bytes as f64 / shard_denom;
+                if pair_bytes > 0.0 {
+                    for from in 0..s {
+                        for to in 0..s {
+                            if let Some(path) = net.server_to_server(from, to) {
+                                let fid =
+                                    net.net_mut().start_flow(path, pair_bytes, 100, from as u64);
+                                flows.insert(fid, (from, true));
+                                outstanding += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    launch_slot!(0);
+    if s < 2 {
+        // Degenerate cluster: every slot is compute-only.
+        launched.iter_mut().for_each(|x| *x = true);
+    }
+
+    loop {
+        // Start compute when the current slot's remote shards are in.
+        if computing.is_none() && slot < 2 * l && outstanding == 0 && launched[slot] {
+            let (layer, phase) = slot_layer(slot);
+            let duration = match phase {
+                Phase::Fwd => layers[layer].fwd,
+                Phase::Bwd => layers[layer].bwd,
+            };
+            computing = Some(engine.now());
+            engine.schedule_after(duration, Ev::ComputeDone);
+            if cfg.prefetch {
+                launch_slot!(slot + 1);
+            }
+        }
+
+        let next_flow = net.net().next_completion();
+        let next_ev = engine.peek_time();
+        match (next_flow, next_ev) {
+            (None, None) => break,
+            (Some((tf, fid)), ev_time) => {
+                if ev_time.is_none_or(|te| tf <= te) {
+                    net.net_mut().advance_to(tf);
+                    engine.advance_to(tf);
+                    let rec = net.net_mut().complete(fid);
+                    let (from, blocks) = flows.remove(&fid).expect("untracked NIC flow");
+                    per_server_tx[from] += rec.bytes;
+                    let kind = if blocks {
+                        CommKind::ParamGather
+                    } else {
+                        CommKind::GradientReduce
+                    };
+                    trace.record_flow(&rec, kind, &[]);
+                    if blocks {
+                        outstanding -= 1;
+                    }
+                    continue;
+                }
+            }
+            (None, Some(_)) => {}
+        }
+        let (t, Ev::ComputeDone) = engine.pop().expect("event queue empty");
+        net.net_mut().advance_to(t);
+        let started = computing.take().expect("no compute running");
+        let (layer, phase) = slot_layer(slot);
+        if let Some(obs) = obs {
+            let name = match phase {
+                Phase::Fwd => format!("fwd L{layer}"),
+                Phase::Bwd => format!("bwd L{layer}"),
+            };
+            for srv in 0..s {
+                obs.span(
+                    Lane::Server(srv),
+                    "compute",
+                    name.clone(),
+                    started.as_nanos(),
+                    t.as_nanos(),
+                    vec![("layer", AttrValue::U64(layer as u64))],
+                );
+            }
+        }
+        if phase == Phase::Bwd && s > 1 {
+            // Reduce-scatter the layer's gradients back to shard owners;
+            // does not block the next slot's compute.
+            let pair_bytes = g * g * layers[layer].grad_bytes as f64 / shard_denom;
+            if pair_bytes > 0.0 {
+                for from in 0..s {
+                    for to in 0..s {
+                        if let Some(path) = net.server_to_server(from, to) {
+                            let fid = net.net_mut().start_flow(path, pair_bytes, 60, from as u64);
+                            flows.insert(fid, (from, false));
+                        }
+                    }
+                }
+            }
+        }
+        slot += 1;
+        launch_slot!(slot);
+    }
+    debug_assert!(slot == 2 * l, "cluster ZeRO step did not finish its slots");
+
+    let total: f64 = per_server_tx.iter().sum();
+    if cfg.strict_validation {
+        let want = expected_cluster_nic_traffic(profile, cluster);
+        let tol = 1.0f64.max(1e-6 * want);
+        if (total - want).abs() > tol {
+            let detail =
+                format!("cluster ZeRO NIC traffic: measured {total:.0} B, expected {want:.0} B");
+            if let Some(obs) = obs {
+                obs.violation("cluster-zero-nic-traffic", &detail, engine.now().as_nanos());
+            }
+            panic!("{detail}");
+        }
+    }
+    Ok(ClusterZeroReport {
+        step_time: engine.now(),
+        nic_bytes_per_server: per_server_tx,
+        total_nic_bytes: total,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobius_model::{GptConfig, Model};
+    use mobius_profiler::Profiler;
+    use mobius_topology::{GpuSpec, Topology};
+
+    fn profile() -> ModelProfile {
+        Profiler::new(GpuSpec::rtx3090ti()).profile(&Model::from_config(&GptConfig::gpt_3b()), 1)
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]), n, 12.5)
+    }
+
+    fn strict() -> ClusterZeroConfig {
+        ClusterZeroConfig {
+            strict_validation: true,
+            ..ClusterZeroConfig::default()
+        }
+    }
+
+    #[test]
+    fn nic_traffic_matches_closed_form() {
+        let p = profile();
+        for n in [2usize, 4] {
+            let rep = simulate_cluster_zero_step(&p, &cluster(n), &strict(), None).unwrap();
+            let want = expected_cluster_nic_traffic(&p, &cluster(n));
+            assert!(
+                (rep.total_nic_bytes - want).abs() <= 1.0f64.max(1e-6 * want),
+                "n={n}: {} vs {want}",
+                rep.total_nic_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn total_traffic_grows_linearly_with_servers() {
+        let p = profile();
+        let t2 = expected_cluster_nic_traffic(&p, &cluster(2));
+        let t4 = expected_cluster_nic_traffic(&p, &cluster(4));
+        let t8 = expected_cluster_nic_traffic(&p, &cluster(8));
+        // total ∝ S·(S−1)/S = (S−1): t4/t2 = 3, t8/t4 = 7/3.
+        assert!((t4 / t2 - 3.0).abs() < 1e-9, "{}", t4 / t2);
+        assert!((t8 / t4 - 7.0 / 3.0).abs() < 1e-9, "{}", t8 / t4);
+    }
+
+    #[test]
+    fn per_server_traffic_saturates() {
+        // Per server ≈ 2·g·P·(S−1)/S + …: grows sub-linearly, under 2× the
+        // 2-server figure at any scale.
+        let p = profile();
+        let per = |n: usize| expected_cluster_nic_traffic(&p, &cluster(n)) / n as f64;
+        assert!(per(8) < 2.0 * per(2));
+        assert!(per(4) > per(2)); // still rising toward the asymptote
+    }
+
+    #[test]
+    fn degenerate_single_server_has_no_nic_traffic() {
+        let p = profile();
+        let rep = simulate_cluster_zero_step(&p, &cluster(1), &strict(), None).unwrap();
+        assert_eq!(rep.total_nic_bytes, 0.0);
+        assert!(rep.step_time > SimTime::ZERO); // compute still happened
+    }
+
+    #[test]
+    fn more_servers_is_slower_on_the_nic() {
+        let p = profile();
+        let t = |n: usize| {
+            simulate_cluster_zero_step(&p, &cluster(n), &ClusterZeroConfig::default(), None)
+                .unwrap()
+                .step_time
+        };
+        assert!(t(4) > t(2), "{} !> {}", t(4), t(2));
+    }
+
+    #[test]
+    fn prefetch_overlaps_and_speeds_up() {
+        let p = profile();
+        let with = simulate_cluster_zero_step(&p, &cluster(4), &strict(), None)
+            .unwrap()
+            .step_time;
+        let without = simulate_cluster_zero_step(
+            &p,
+            &cluster(4),
+            &ClusterZeroConfig {
+                prefetch: false,
+                strict_validation: true,
+            },
+            None,
+        )
+        .unwrap()
+        .step_time;
+        assert!(with < without, "prefetch {with} vs no prefetch {without}");
+    }
+
+    #[test]
+    fn server_lanes_appear_in_the_trace() {
+        let p = profile();
+        let obs = Obs::new();
+        simulate_cluster_zero_step(&p, &cluster(2), &strict(), Some(&obs)).unwrap();
+        let json = obs.chrome_trace_json();
+        assert!(json.contains("\"name\":\"servers\""));
+        assert!(json.contains("fwd L0"));
+        assert!(json.contains("switch-fabric"));
+    }
+}

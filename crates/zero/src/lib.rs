@@ -28,9 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod offload;
 mod validate;
 
+pub use cluster::{
+    expected_cluster_nic_traffic, simulate_cluster_zero_step, ClusterZeroConfig, ClusterZeroReport,
+};
 pub use offload::{
     check_offload_memory, simulate_zero_offload_step, simulate_zero_offload_step_traced,
 };

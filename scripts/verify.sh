@@ -23,6 +23,10 @@ cargo fmt --all -- --check
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+echo "==> example smoke runs (quickstart, topology_explorer)"
+cargo run --release -q --example quickstart >/dev/null
+cargo run --release -q --example topology_explorer >/dev/null
+
 echo "==> fault-injection determinism gate (two seeded runs, byte-identical JSON)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -32,6 +36,16 @@ cargo run --release -q -p mobius-bench --bin resilience -- \
   --quick --seed 42 --json "$tmpdir/b.json" >/dev/null 2>&1
 cmp "$tmpdir/a.json" "$tmpdir/b.json" || {
   echo "FAIL: identically seeded resilience runs diverged" >&2
+  exit 1
+}
+
+echo "==> cluster-scaling determinism gate (two seeded runs, byte-identical JSON)"
+cargo run --release -q -p mobius-bench --bin scaling -- \
+  --quick --seed 42 --json "$tmpdir/c.json" >/dev/null 2>&1
+cargo run --release -q -p mobius-bench --bin scaling -- \
+  --quick --seed 42 --json "$tmpdir/d.json" >/dev/null 2>&1
+cmp "$tmpdir/c.json" "$tmpdir/d.json" || {
+  echo "FAIL: identically seeded scaling runs diverged" >&2
   exit 1
 }
 
