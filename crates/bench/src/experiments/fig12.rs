@@ -43,8 +43,10 @@ pub fn run(quick: bool) -> Experiment {
             cfg.name.clone(),
             fmt_secs(plan.overheads.profiling.as_secs_f64()),
             fmt_secs(naive.as_secs_f64()),
-            fmt_secs(plan.overheads.mip_solve_secs),
-            fmt_secs(plan.overheads.cross_map_secs),
+            // Explicit .secs() escape: Figure 12 is the one table documented
+            // as machine-dependent wall-clock (see the note below).
+            fmt_secs(plan.overheads.mip_solve_wall.secs()),
+            fmt_secs(plan.overheads.cross_map_wall.secs()),
         ]);
     }
     e.note(
@@ -70,8 +72,8 @@ mod tests {
             .plan()
             .unwrap();
         assert!(plan.overheads.profiling.as_secs_f64() < 300.0);
-        assert!(plan.overheads.mip_solve_secs < 30.0);
-        assert!(plan.overheads.cross_map_secs < 5.0);
+        assert!(plan.overheads.mip_solve_wall.secs() < 30.0);
+        assert!(plan.overheads.cross_map_wall.secs() < 5.0);
     }
 
     #[test]

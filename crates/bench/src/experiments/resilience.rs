@@ -8,10 +8,9 @@
 //! the JSON report of two identically seeded runs. Replan wall latency is
 //! reported on stderr only.
 
-use std::time::Instant;
-
 use mobius::{DegradeAction, FineTuner, ResiliencePolicy, System};
 use mobius_model::GptConfig;
+use mobius_obs::WallTimer;
 use mobius_pipeline::PartitionAlgo;
 use mobius_sim::{FaultSchedule, SimTime};
 
@@ -117,7 +116,7 @@ pub fn replan(quick: bool, seed: u64) -> Experiment {
     ]);
     for &(gpu, at_ms) in &[(2usize, 50u64), (0, 200)] {
         let faults = FaultSchedule::new().fail_gpu(gpu, SimTime::from_millis(at_ms));
-        let started = Instant::now();
+        let timer = WallTimer::start();
         let rep = tuner(&cfg)
             .faults(faults)
             .run_step()
@@ -125,7 +124,7 @@ pub fn replan(quick: bool, seed: u64) -> Experiment {
         // Wall latency is machine-dependent: stderr only, never a cell.
         eprintln!(
             "resilience-replan: gpufail:{gpu}:{at_ms} recovered in {:.0} ms wall",
-            started.elapsed().as_secs_f64() * 1e3
+            timer.elapsed().secs() * 1e3
         );
         let survivors = rep
             .degradations

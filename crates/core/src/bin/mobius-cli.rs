@@ -289,8 +289,8 @@ fn plan(tuner: FineTuner, topo: &Topology) -> Result<(), CliError> {
         "predicted step {}; overheads: profiling {}, MIP {:.2}s, mapping {:.3}s",
         plan.predicted_step,
         plan.overheads.profiling,
-        plan.overheads.mip_solve_secs,
-        plan.overheads.cross_map_secs,
+        plan.overheads.mip_solve_wall.secs(),
+        plan.overheads.cross_map_wall.secs(),
     );
     // Re-evaluate analytically for the timeline.
     let cfg = PipelineConfig {

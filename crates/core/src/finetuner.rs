@@ -1,12 +1,12 @@
 //! The high-level API: pick a model, a server, and a system; get a plan
 //! and a measured training step.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mobius_cluster::{simulate_ring_allreduce, ClusterDpConfig, ReplicaTiming};
 use mobius_mapping::{Mapping, MappingAlgo};
 use mobius_model::{GptConfig, Model};
-use mobius_obs::{AttrValue, Lane, Obs};
+use mobius_obs::{AttrValue, Lane, Obs, WallSecs, WallTimer};
 use mobius_pipeline::{
     partition_model, plan_gpipe, simulate_step_traced, simulate_steps_faulted,
     simulate_steps_traced, stage_costs, ExecError, MemoryMode, MultiStepReport, Partition,
@@ -60,10 +60,14 @@ pub struct Overheads {
     /// Simulated wall-clock cost of profiling the model on hardware, with
     /// layer similarity enabled.
     pub profiling: SimTime,
-    /// Real wall-clock seconds the MIP partition search took.
-    pub mip_solve_secs: f64,
-    /// Real wall-clock seconds the cross-mapping search took.
-    pub cross_map_secs: f64,
+    /// Diagnostics-only wall-clock of the MIP partition search.
+    /// Machine-dependent: never serialized into a byte-compared artifact
+    /// (see [`mobius_obs::walltime`]); Figure 12 prints it as an explicitly
+    /// wall-clock table.
+    pub mip_solve_wall: WallSecs,
+    /// Diagnostics-only wall-clock of the cross-mapping search (same
+    /// contract as [`Overheads::mip_solve_wall`]).
+    pub cross_map_wall: WallSecs,
 }
 
 /// Multi-server scale-out configuration: `servers` identical replicas of
@@ -457,7 +461,7 @@ impl FineTuner {
         let cfg = self.pipeline_cfg_on(topo, MemoryMode::Heterogeneous);
         let n = topo.num_gpus();
 
-        let solve_started = Instant::now();
+        let solve_timer = WallTimer::start();
         let outcome = match algo {
             PartitionAlgo::Mip => mobius_pipeline::mip_partition_traced(
                 &profile,
@@ -468,11 +472,11 @@ impl FineTuner {
             )?,
             other => partition_model(other, &profile, n, &cfg)?,
         };
-        let mip_solve_secs = solve_started.elapsed().as_secs_f64();
+        let mip_solve_wall = solve_timer.elapsed();
 
-        let map_started = Instant::now();
+        let map_timer = WallTimer::start();
         let mapping = Mapping::with_algo(self.mapping_algo, topo, outcome.partition.num_stages());
-        let cross_map_secs = map_started.elapsed().as_secs_f64();
+        let cross_map_wall = map_timer.elapsed();
 
         let stages = stage_costs(&profile, &outcome.partition);
         let contention_degree = mapping.contention_degree(topo);
@@ -502,8 +506,8 @@ impl FineTuner {
             contention_degree,
             overheads: Overheads {
                 profiling,
-                mip_solve_secs,
-                cross_map_secs,
+                mip_solve_wall,
+                cross_map_wall,
             },
         })
     }
@@ -1100,7 +1104,7 @@ mod tests {
     fn plan_reports_overheads() {
         let plan = tuner(GptConfig::gpt_8b(), System::Mobius).plan().unwrap();
         assert!(plan.overheads.profiling > SimTime::ZERO);
-        assert!(plan.overheads.mip_solve_secs >= 0.0);
+        assert!(plan.overheads.mip_solve_wall.secs() >= 0.0);
         assert!(plan.partition.num_stages() >= 4);
         assert!(plan.contention_degree >= 0.0);
     }

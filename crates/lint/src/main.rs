@@ -1,0 +1,74 @@
+//! `mobius-lint` — walks the workspace and reports determinism & layering
+//! findings (D001–D005). Exit code 0 = clean, 1 = findings, 2 = usage error.
+//!
+//! ```text
+//! cargo run -p mobius-lint                      # human output, repo root
+//! cargo run -p mobius-lint -- --format json     # deterministic JSON
+//! cargo run -p mobius-lint -- --root some/dir   # lint another tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mobius_lint::{render_human, render_json, scan_workspace};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mobius-lint [--root <dir>] [--format human|json]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("human");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("mobius-lint: determinism & layering static analysis");
+                println!("usage: mobius-lint [--root <dir>] [--format human|json]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = root.unwrap_or_else(|| {
+        // When run via `cargo run -p mobius-lint`, the manifest dir is
+        // crates/lint; the workspace root is two levels up.
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mobius-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

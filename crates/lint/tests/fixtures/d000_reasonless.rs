@@ -1,0 +1,14 @@
+//! D000 fixture: suppressions that are malformed or carry no reason are
+//! themselves findings, and the original finding stays live.
+
+use std::time::Instant;
+
+fn stamp() -> u128 {
+    // mobius-lint: allow(D001)
+    let t0 = Instant::now();
+    // mobius-lint: allow(D001, reason = "")
+    let t1 = Instant::now();
+    // mobius-lint: allow(D999, reason = "no such lint")
+    let t2 = Instant::now();
+    t0.elapsed().as_nanos() + t1.elapsed().as_nanos() + t2.elapsed().as_nanos()
+}

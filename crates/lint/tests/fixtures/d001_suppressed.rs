@@ -1,0 +1,10 @@
+//! D001 fixture, suppressed: every wall-clock read carries a reasoned allow.
+
+use std::time::Instant;
+
+fn stamp() -> u128 {
+    // mobius-lint: allow(D001, reason = "stderr-only latency probe; never serialized")
+    let t0 = Instant::now();
+    let t1 = Instant::now(); // mobius-lint: allow(D001, reason = "trailing form of the same probe")
+    t0.elapsed().as_nanos() + t1.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+//! D001 fixture: raw wall-clock reads outside the diagnostics allowlist.
+
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,14 @@
+//! D002 fixture, suppressed: a lookup-only map with a reasoned allow.
+
+use std::collections::HashMap;
+
+struct Tracker {
+    // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
+    flows: HashMap<u64, f64>,
+}
+
+impl Tracker {
+    fn get(&self, id: u64) -> Option<f64> {
+        self.flows.get(&id).copied()
+    }
+}

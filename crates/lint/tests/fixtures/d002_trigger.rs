@@ -1,0 +1,14 @@
+//! D002 fixture: hash-ordered collections in simulation-affecting code,
+//! including order-dependent iteration.
+
+use std::collections::HashMap;
+
+fn flow_report() -> Vec<(u32, f64)> {
+    let mut flows: HashMap<u32, f64> = HashMap::new();
+    flows.insert(1, 0.5);
+    let mut out = Vec::new();
+    for (id, share) in flows.iter() {
+        out.push((*id, *share));
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! D003 fixture, suppressed: the one place partial_cmp is deliberate.
+
+fn agrees(a: f64, b: f64) -> bool {
+    // mobius-lint: allow(D003, reason = "test asserts partial_cmp agrees with total_cmp on non-NaN input")
+    a.partial_cmp(&b) == Some(a.total_cmp(&b))
+}

@@ -1,0 +1,6 @@
+//! D003 fixture: NaN-unsafe float ordering.
+
+fn best(xs: &mut Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[0]
+}

@@ -1,0 +1,7 @@
+//! D004 fixture, suppressed: a reasoned allow on the unseeded source.
+
+fn jitter() -> f64 {
+    // mobius-lint: allow(D004, reason = "fixture only; real code must thread an explicit seed")
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,7 @@
+//! D004 fixture: unseeded randomness.
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _coin: bool = rand::random();
+    rng.gen_range(0.0..1.0)
+}

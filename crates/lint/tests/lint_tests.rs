@@ -1,0 +1,155 @@
+//! Fixture-driven integration tests: every lint D001–D005 is demonstrated
+//! by a triggering fixture and silenced by its suppressed twin, reason-less
+//! allows are themselves findings, and the live workspace self-lints clean.
+
+use std::path::Path;
+
+use mobius_lint::{render_json, scan_cargo_toml, scan_rust_source, scan_workspace, Code, Finding};
+
+fn codes(findings: &[Finding]) -> Vec<Code> {
+    findings.iter().map(|f| f.code).collect()
+}
+
+/// Fixtures are scanned under a `crates/<name>/src/` label so the
+/// simulation-affecting rules (D002) apply, matching how the walker treats
+/// real crate sources.
+fn scan_fixture(name: &str, src: &str) -> Vec<Finding> {
+    scan_rust_source(&format!("crates/fixture/src/{name}"), src, true)
+}
+
+#[test]
+fn d001_trigger_fires_and_suppressed_twin_is_clean() {
+    let hits = scan_fixture("d001_trigger.rs", include_str!("fixtures/d001_trigger.rs"));
+    assert!(
+        hits.iter().filter(|f| f.code == Code::D001).count() >= 2,
+        "expected both Instant::now and SystemTime::now to fire: {hits:?}"
+    );
+    let clean = scan_fixture(
+        "d001_suppressed.rs",
+        include_str!("fixtures/d001_suppressed.rs"),
+    );
+    assert_eq!(
+        clean,
+        Vec::new(),
+        "own-line and trailing allows must both hold"
+    );
+}
+
+#[test]
+fn d001_allowlist_exempts_the_walltime_module() {
+    let src = "use std::time::Instant;\nfn t() { let _ = Instant::now(); }\n";
+    let in_allowlisted = scan_rust_source("crates/obs/src/walltime.rs", src, true);
+    assert_eq!(codes(&in_allowlisted), Vec::new());
+    let elsewhere = scan_rust_source("crates/obs/src/lib.rs", src, true);
+    assert_eq!(codes(&elsewhere), vec![Code::D001]);
+}
+
+#[test]
+fn d002_trigger_fires_on_decl_and_iteration_and_suppressed_twin_is_clean() {
+    let hits = scan_fixture("d002_trigger.rs", include_str!("fixtures/d002_trigger.rs"));
+    let d002: Vec<_> = hits.iter().filter(|f| f.code == Code::D002).collect();
+    assert!(
+        d002.len() >= 2,
+        "expected decl + iteration findings: {hits:?}"
+    );
+    assert!(
+        d002.iter().any(|f| f.message.contains("iteration")),
+        "iteration over the map must be called out: {d002:?}"
+    );
+    let clean = scan_fixture(
+        "d002_suppressed.rs",
+        include_str!("fixtures/d002_suppressed.rs"),
+    );
+    assert_eq!(clean, Vec::new());
+}
+
+#[test]
+fn d002_does_not_apply_outside_simulation_affecting_code() {
+    let src = include_str!("fixtures/d002_trigger.rs");
+    let in_tests = scan_rust_source("tests/some_test.rs", src, false);
+    assert_eq!(codes(&in_tests), Vec::new());
+}
+
+#[test]
+fn d003_trigger_fires_and_suppressed_twin_is_clean() {
+    let hits = scan_fixture("d003_trigger.rs", include_str!("fixtures/d003_trigger.rs"));
+    assert_eq!(codes(&hits), vec![Code::D003]);
+    let clean = scan_fixture(
+        "d003_suppressed.rs",
+        include_str!("fixtures/d003_suppressed.rs"),
+    );
+    assert_eq!(clean, Vec::new());
+}
+
+#[test]
+fn d004_trigger_fires_and_suppressed_twin_is_clean() {
+    let hits = scan_fixture("d004_trigger.rs", include_str!("fixtures/d004_trigger.rs"));
+    let d004 = hits.iter().filter(|f| f.code == Code::D004).count();
+    assert!(
+        d004 >= 2,
+        "thread_rng and rand::random must both fire: {hits:?}"
+    );
+    let clean = scan_fixture(
+        "d004_suppressed.rs",
+        include_str!("fixtures/d004_suppressed.rs"),
+    );
+    assert_eq!(clean, Vec::new());
+}
+
+#[test]
+fn reasonless_or_malformed_allow_is_a_finding_and_suppresses_nothing() {
+    let hits = scan_fixture(
+        "d000_reasonless.rs",
+        include_str!("fixtures/d000_reasonless.rs"),
+    );
+    let d000 = hits.iter().filter(|f| f.code == Code::D000).count();
+    let d001 = hits.iter().filter(|f| f.code == Code::D001).count();
+    assert_eq!(
+        (d000, d001),
+        (3, 3),
+        "each bad directive is a D000 and leaves its D001 live: {hits:?}"
+    );
+}
+
+#[test]
+fn d005_trigger_fires_and_suppressed_twin_is_clean() {
+    let hits = scan_cargo_toml(
+        "crates/obs/Cargo.toml",
+        include_str!("fixtures/d005_trigger.toml"),
+    );
+    assert_eq!(
+        codes(&hits),
+        vec![Code::D005, Code::D005],
+        "both the [dependencies] and [dev-dependencies] edges must fire: {hits:?}"
+    );
+    let clean = scan_cargo_toml(
+        "crates/obs/Cargo.toml",
+        include_str!("fixtures/d005_suppressed.toml"),
+    );
+    assert_eq!(clean, Vec::new());
+}
+
+#[test]
+fn workspace_self_lint_is_clean() {
+    // crates/lint/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = scan_workspace(&root).expect("workspace scan");
+    assert_eq!(
+        findings,
+        Vec::new(),
+        "live workspace must have zero unsuppressed findings:\n{}",
+        mobius_lint::render_human(&findings)
+    );
+}
+
+#[test]
+fn json_output_is_deterministic_and_sorted() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = render_json(&scan_workspace(&root).expect("scan"));
+    let b = render_json(&scan_workspace(&root).expect("scan"));
+    assert_eq!(
+        a, b,
+        "two scans of the same tree must render byte-identically"
+    );
+    assert!(a.contains("\"findings\""));
+}

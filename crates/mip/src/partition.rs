@@ -16,8 +16,9 @@
 //!   cross-check of the MIP machinery, by an explicit boolean-variable MIP
 //!   on the in-crate simplex/branch-and-bound solver.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use mobius_obs::{WallSecs, WallTimer};
 use serde::{Deserialize, Serialize};
 
 use crate::{Cmp, Lp, Mip, MipOutcome, Sense};
@@ -52,8 +53,10 @@ pub struct SearchStats {
     pub evaluated: usize,
     /// Internal nodes pruned by the lower bound.
     pub pruned: usize,
-    /// Wall-clock seconds spent searching.
-    pub elapsed_secs: f64,
+    /// Diagnostics-only wall-clock spent searching; machine-dependent, so
+    /// it never reaches a byte-compared artifact (see
+    /// [`mobius_obs::walltime`]).
+    pub wall_elapsed: WallSecs,
     /// Whether the search ran to completion (`false` = budget exhausted;
     /// the result is the best incumbent).
     pub complete: bool,
@@ -165,7 +168,7 @@ impl SegmentSearch {
 
     /// Runs the search; `None` means no feasible segmentation exists.
     pub fn solve<O: SegmentObjective>(&self, obj: &O) -> Option<SegmentResult> {
-        let started = Instant::now();
+        let timer = WallTimer::start();
         let mut best: Option<(Vec<usize>, f64)> = self.seed.clone();
         let mut stats = SearchStats {
             complete: true,
@@ -180,9 +183,9 @@ impl SegmentSearch {
             &mut best,
             &mut stats,
             &mut nodes,
-            started,
+            &timer,
         );
-        stats.elapsed_secs = started.elapsed().as_secs_f64();
+        stats.wall_elapsed = timer.elapsed();
         if let Some(obs) = &self.obs {
             obs.counter_add("mip.evaluated", stats.evaluated as f64);
             obs.counter_add("mip.pruned", stats.pruned as f64);
@@ -206,18 +209,21 @@ impl SegmentSearch {
         best: &mut Option<(Vec<usize>, f64)>,
         stats: &mut SearchStats,
         nodes: &mut usize,
-        started: Instant,
+        timer: &WallTimer,
     ) {
         if covered == self.n_items {
             stats.evaluated += 1;
             if let Some(cost) = obj.cost(prefix) {
                 if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                     if let Some(obs) = &self.obs {
+                        // Solver-lane timestamps are the deterministic
+                        // evaluated-leaf count, not wall-clock: traces must
+                        // stay byte-identical across machines and runs.
                         obs.mark(
                             mobius_obs::Lane::Solver,
                             "solver",
                             "incumbent",
-                            started.elapsed().as_nanos() as u64,
+                            stats.evaluated as u64,
                             vec![
                                 ("cost", mobius_obs::AttrValue::F64(cost)),
                                 ("stages", mobius_obs::AttrValue::U64(prefix.len() as u64)),
@@ -239,7 +245,7 @@ impl SegmentSearch {
             return;
         }
         if let Some(budget) = self.time_budget {
-            if (*nodes).is_multiple_of(64) && started.elapsed() > budget {
+            if (*nodes).is_multiple_of(64) && timer.exceeded(budget) {
                 stats.complete = false;
                 return;
             }
@@ -267,7 +273,7 @@ impl SegmentSearch {
         sizes.sort_by_key(|&s| (s as i64 - ideal as i64).abs());
         for s in sizes {
             prefix.push(s);
-            self.dfs(obj, prefix, covered + s, best, stats, nodes, started);
+            self.dfs(obj, prefix, covered + s, best, stats, nodes, timer);
             prefix.pop();
             if !stats.complete {
                 return;

@@ -5,9 +5,10 @@
 //! exporters — Chrome trace-event JSON (loadable in Perfetto or
 //! `chrome://tracing`) plus human-readable and JSON metrics reports.
 //!
-//! The crate sits *below* the simulator: timestamps are plain `u64`
-//! nanoseconds (the simulator stamps them with simulated time, the MIP
-//! solver with wall-clock search time), so every other crate can depend on
+//! The crate sits *below* the simulator: timestamps are plain `u64`s (the
+//! simulator stamps them with simulated nanoseconds, the MIP solver with
+//! its deterministic evaluated-leaf count — never wall-clock, which would
+//! make trace bytes machine-dependent), so every other crate can depend on
 //! it without a cycle. Recording is strictly passive — attaching an [`Obs`]
 //! handle never schedules events, starts flows, or otherwise perturbs a
 //! simulation, which is what lets the test suite assert that traced and
@@ -46,9 +47,11 @@ pub mod json;
 mod metrics;
 mod report;
 mod span;
+pub mod walltime;
 
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{AttrValue, Event, EventLog, Lane};
+pub use walltime::{WallSecs, WallTimer};
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -278,6 +278,7 @@ struct Executor<'a> {
     engine: Engine<Ev>,
     trace: TraceRecorder,
     gpus: Vec<GpuRt>,
+    // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
     flows: HashMap<FlowId, (Purpose, CommKind, Vec<usize>)>,
     /// `act_in[step][stage][mb]` / `grad_in[step][stage][mb]`.
     act_in: Vec<Vec<Vec<bool>>>,
@@ -289,6 +290,7 @@ struct Executor<'a> {
     /// (backfilled with the step boundary where no offload flow ran).
     grad_flush: Vec<Vec<SimTime>>,
     /// Forward-load slot of `(step, stage)` for gate unblocking.
+    // mobius-lint: allow(D002, reason = "lookup-only; keyed gets on (step, stage), never iterated")
     fwd_slot_of: HashMap<(usize, usize), (usize, usize)>,
     bwd_done: Vec<usize>,
     step_boundaries: Vec<SimTime>,
@@ -480,6 +482,7 @@ fn simulate_steps_inner(
     let hetero = cfg.memory_mode == MemoryMode::Heterogeneous;
     let n = topo.num_gpus();
 
+    // mobius-lint: allow(D002, reason = "lookup-only; keyed gets on (step, stage), never iterated")
     let mut fwd_slot_of = HashMap::new();
     let gpus: Vec<GpuRt> = (0..n)
         .map(|g| {
@@ -565,6 +568,7 @@ fn simulate_steps_inner(
         engine,
         trace,
         gpus,
+        // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
         flows: HashMap::new(),
         act_in: vec![vec![vec![false; m]; s]; steps],
         grad_in: vec![vec![vec![false; m]; s]; steps],

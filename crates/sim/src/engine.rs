@@ -31,16 +31,30 @@ pub struct Engine<E> {
     obs: Option<mobius_obs::Obs>,
 }
 
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
+/// The event ordering key: timestamp first, then the FIFO sequence number
+/// as the tie-breaker.
+///
+/// The order is *derived* on integer fields (`SimTime` is a `u64` newtype),
+/// so it is total by construction — there is no NaN-shaped value that could
+/// make two keys incomparable and leave heap order to chance. Were the
+/// timestamp ever widened to a float, the comparison would have to go
+/// through `f64::total_cmp` to keep this property (mobius-lint D003 flags
+/// the `partial_cmp` shortcut).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
     at: SimTime,
     seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    key: EventKey,
     payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -53,8 +67,9 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // BinaryHeap is a max-heap; invert the derived total order on the
+        // key so the earliest event pops first.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -95,8 +110,7 @@ impl<E> Engine<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let at = at.max(self.now);
         self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
+            key: EventKey { at, seq: self.seq },
             payload,
         });
         self.seq += 1;
@@ -112,18 +126,18 @@ impl<E> Engine<E> {
 
     /// Timestamp of the next event, if any, without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.peek().map(|s| s.key.at)
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "event queue went backwards");
-        self.now = s.at;
+        debug_assert!(s.key.at >= self.now, "event queue went backwards");
+        self.now = s.key.at;
         if let Some(obs) = &self.obs {
             obs.counter_add("engine.popped", 1.0);
         }
-        Some((s.at, s.payload))
+        Some((s.key.at, s.payload))
     }
 
     /// Advances the clock without popping (used when a flow completion, not
@@ -171,6 +185,52 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tied_timestamps_stay_fifo_when_interleaved() {
+        // Ties must hold even when schedules at other instants arrive
+        // between the tied ones — the seq tie-breaker is global, not
+        // per-timestamp.
+        let mut e = Engine::new();
+        let tie = SimTime::from_secs(2);
+        e.schedule(tie, "tie-0");
+        e.schedule(SimTime::from_secs(1), "early");
+        e.schedule(tie, "tie-1");
+        e.schedule(SimTime::from_secs(3), "late");
+        e.schedule(tie, "tie-2");
+        let order: Vec<&str> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!["early", "tie-0", "tie-1", "tie-2", "late"]);
+    }
+
+    #[test]
+    fn event_key_order_is_total_and_antisymmetric_on_ties() {
+        let t = SimTime::from_secs(7);
+        let a = EventKey { at: t, seq: 0 };
+        let b = EventKey { at: t, seq: 1 };
+        // Derived integer ordering: every pair is comparable, ties on the
+        // timestamp are broken by seq, and equal keys compare equal.
+        // mobius-lint: allow(D003, reason = "asserts PartialOrd agrees with the derived total order on integer keys")
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Less));
+        // mobius-lint: allow(D003, reason = "asserts PartialOrd agrees with the derived total order on integer keys")
+        assert_eq!(b.partial_cmp(&a), Some(Ordering::Greater));
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(a < b && !(b < a));
+    }
+
+    #[test]
+    fn tied_timestamps_survive_pop_schedule_interleaving() {
+        // Popping one tied event and then scheduling another at the same
+        // (now current) instant keeps the remaining ties in FIFO order.
+        let mut e = Engine::new();
+        let tie = SimTime::from_secs(1);
+        e.schedule(tie, 0u32);
+        e.schedule(tie, 1u32);
+        let (_, first) = e.pop().unwrap();
+        assert_eq!(first, 0);
+        e.schedule(tie, 2u32); // same instant as `now`
+        let rest: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(rest, vec![1, 2]);
     }
 
     #[test]

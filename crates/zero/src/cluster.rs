@@ -139,6 +139,7 @@ pub fn simulate_cluster_zero_step(
 
     let mut per_server_tx = vec![0.0; s];
     // Flow id → (source server, blocks next compute).
+    // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
     let mut flows: HashMap<FlowId, (usize, bool)> = HashMap::new();
     let mut outstanding = 0usize;
     let mut launched = vec![false; 2 * l];

@@ -157,6 +157,7 @@ struct ZeroExec<'a> {
     engine: Engine<Ev>,
     trace: TraceRecorder,
     gpus: Vec<GpuZ>,
+    // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
     flows: HashMap<FlowId, (usize, CommKind, Vec<usize>, bool)>, // gpu, kind, traced gpus, blocks_compute
     cfg: ZeroConfig,
     num_layers: usize,
@@ -264,6 +265,7 @@ pub fn simulate_zero_step_traced(
         engine,
         trace,
         gpus,
+        // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
         flows: HashMap::new(),
         cfg: *cfg,
         num_layers: l,

@@ -67,7 +67,11 @@ fn main() {
                 if let Some(stats) = out.stats {
                     println!(
                         "{:<10} search: {} leaves evaluated, {} pruned, {:.2}s, complete={}",
-                        "", stats.evaluated, stats.pruned, stats.elapsed_secs, stats.complete
+                        "",
+                        stats.evaluated,
+                        stats.pruned,
+                        stats.wall_elapsed.secs(),
+                        stats.complete
                     );
                 }
                 if matches!(algo, PartitionAlgo::Mip) {

@@ -32,7 +32,9 @@ fn main() -> Result<(), mobius::RunError> {
     );
     println!(
         "planning overheads: profiling {}, MIP solve {:.2}s, cross mapping {:.3}s\n",
-        plan.overheads.profiling, plan.overheads.mip_solve_secs, plan.overheads.cross_map_secs,
+        plan.overheads.profiling,
+        plan.overheads.mip_solve_wall.secs(),
+        plan.overheads.cross_map_wall.secs(),
     );
 
     // Run one simulated training step per system.

@@ -17,6 +17,11 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> mobius-lint (determinism & layering gate)"
+# Hard gate: any unsuppressed D001-D005 finding (or a reason-less allow,
+# D000) fails the build. See DESIGN.md § Static analysis.
+cargo run --release -q -p mobius-lint -- --format human
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,91 @@
+//! Byte-determinism regression tests for the wall-clock quarantine: two
+//! identical seeded runs — solver lane included — must export
+//! byte-identical Chrome traces.
+//!
+//! This is the regression net for the D001 fix in `crates/mip`: incumbent
+//! marks used to stamp `Instant::elapsed` nanoseconds into the solver lane,
+//! so two in-process runs produced different trace bytes. Timestamps are
+//! now the deterministic evaluated-leaf count and this test locks that in.
+
+use mobius::FineTuner;
+use mobius_mip::{SegmentObjective, SegmentSearch};
+use mobius_model::GptConfig;
+use mobius_obs::Obs;
+
+/// One full plan + step with the MIP solver lane observed; returns the
+/// exported Chrome trace bytes.
+fn traced_plan_and_step() -> String {
+    let obs = Obs::new();
+    let tuner = FineTuner::new(GptConfig::gpt_3b()).observe(obs.clone());
+    let plan = tuner.plan().expect("planning succeeds");
+    assert!(plan.partition.num_stages() >= 1);
+    tuner.run_step().expect("step succeeds");
+    obs.chrome_trace_json()
+}
+
+#[test]
+fn repeated_traced_runs_are_byte_identical() {
+    let a = traced_plan_and_step();
+    let b = traced_plan_and_step();
+    assert!(
+        a == b,
+        "two identical runs exported different trace bytes — wall-clock (or \
+         other nondeterminism) is leaking into an artifact lane"
+    );
+}
+
+/// A seedless search improves its incumbent several times, so the solver
+/// lane definitely carries incumbent marks — the exact lane that used to
+/// stamp wall-clock nanoseconds.
+struct SpreadCost;
+
+impl SegmentObjective for SpreadCost {
+    fn cost(&self, sizes: &[usize]) -> Option<f64> {
+        let max = *sizes.iter().max()? as f64;
+        let min = *sizes.iter().min()? as f64;
+        (sizes.len() <= 4).then_some(max - min + sizes.len() as f64)
+    }
+}
+
+#[test]
+fn solver_incumbent_marks_are_deterministic() {
+    let trace = |_: u32| {
+        let obs = Obs::new();
+        let result = SegmentSearch::new(8)
+            .observe(obs.clone())
+            .solve(&SpreadCost)
+            .expect("feasible");
+        assert!(result.cost > 0.0);
+        obs.chrome_trace_json()
+    };
+    let a = trace(0);
+    assert!(
+        a.contains("incumbent"),
+        "the seedless search must improve its incumbent at least once"
+    );
+    assert_eq!(
+        a,
+        trace(1),
+        "incumbent mark timestamps must not be wall-clock"
+    );
+}
+
+#[test]
+fn wall_overheads_are_reported_but_never_in_the_trace() {
+    let obs = Obs::new();
+    let tuner = FineTuner::new(GptConfig::gpt_3b()).observe(obs.clone());
+    let plan = tuner.plan().expect("planning succeeds");
+    // The wall-clock numbers exist for humans…
+    assert!(plan.overheads.mip_solve_wall.secs() >= 0.0);
+    assert!(plan.overheads.cross_map_wall.secs() >= 0.0);
+    // …but the exported trace carries no free-running wall-clock field: a
+    // second identical plan produces identical bytes even though its wall
+    // timings certainly differ.
+    let first = obs.chrome_trace_json();
+    let obs2 = Obs::new();
+    FineTuner::new(GptConfig::gpt_3b())
+        .observe(obs2.clone())
+        .plan()
+        .expect("planning succeeds");
+    assert_eq!(first, obs2.chrome_trace_json());
+}

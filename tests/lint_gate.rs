@@ -1,0 +1,18 @@
+//! Tier-1 gate: the live workspace must self-lint clean under
+//! `mobius-lint` — zero unsuppressed determinism or layering findings.
+//! This is the same check `scripts/verify.sh` runs as a hard gate; having
+//! it in the root test suite means plain `cargo test` enforces it too.
+
+use mobius_lint::{render_human, scan_workspace};
+
+#[test]
+fn workspace_has_zero_unsuppressed_lint_findings() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let findings = scan_workspace(std::path::Path::new(root)).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "mobius-lint found unsuppressed findings (every suppression needs a \
+         non-empty reason):\n{}",
+        render_human(&findings)
+    );
+}
