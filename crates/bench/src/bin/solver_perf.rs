@@ -1,0 +1,70 @@
+//! Solver & engine fast-path benchmark: warm-started MIP replans,
+//! calendar-queue event scheduling, and flow-set partition reuse.
+//!
+//! Flags:
+//! * `--quick` — fewer wall-clock repetitions (the deterministic counter
+//!   workloads are unaffected by design).
+//! * `--seed N` — reseed the engine storm (default 42).
+//! * `--json <path>` — also write the JSON report.
+//! * `--deterministic` — omit the machine-dependent `solver-wall`
+//!   experiment so two identically seeded runs are byte-identical (what
+//!   the determinism gate of `scripts/verify.sh` byte-compares).
+//! * `--check <baseline.json>` — re-run the deterministic workloads and
+//!   diff the counters against the committed baseline
+//!   (`BENCH_solver.json`) with direction-aware rules; prints the delta
+//!   table and exits non-zero on any regression.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let deterministic = args.iter().any(|a| a == "--deterministic");
+    let seed: u64 = match args.iter().position(|a| a == "--seed") {
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(s) => s,
+            None => {
+                eprintln!("error: flag `--seed` expects an integer");
+                std::process::exit(2);
+            }
+        },
+        None => 42,
+    };
+
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("error: flag `--check` expects a baseline path");
+            std::process::exit(2);
+        };
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match mobius_bench::experiments::solver_perf::check_against(&baseline, seed) {
+            Ok(table) => {
+                println!("{table}");
+                println!("baseline OK: no counter regressed");
+            }
+            Err(table) => {
+                println!("{table}");
+                eprintln!(
+                    "FAIL: solver counters regressed against {path} — if the \
+                     change is intentional, regenerate with \
+                     `UPDATE_BASELINE=1 scripts/verify.sh`"
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let experiments = if deterministic {
+        mobius_bench::experiments::solver_perf::deterministic(seed)
+    } else {
+        mobius_bench::experiments::solver_perf::run(quick, seed)
+    };
+    if let Err(msg) = mobius_bench::emit(&experiments) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@ pub mod fig16;
 pub mod resilience;
 pub mod scaling;
 pub mod schedules;
+pub mod solver_perf;
 pub mod steady_state;
 pub mod table1;
 

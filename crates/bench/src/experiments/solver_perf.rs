@@ -1,0 +1,836 @@
+//! Solver & engine fast-path benchmark: warm-started MIP replans,
+//! calendar-queue event scheduling, and flow-set partition reuse.
+//!
+//! Three deterministic workloads exercise the hot paths this repo's
+//! optimisations target, counting work units (branch-and-bound nodes,
+//! events popped, partition sorts avoided) rather than wall time:
+//!
+//! 1. **warm-vs-cold replan** — the GPU-failure resilience workload: a
+//!    heterogeneous 16-layer profile is partitioned for 4 GPUs, then
+//!    re-partitioned for the 3-GPU survivor topology both cold and
+//!    warm-started from the 4-GPU incumbent. The warm solve must reach the
+//!    bit-identical predicted step while evaluating strictly fewer leaves.
+//! 2. **calendar vs reference engine** — a seeded mixed-scale event storm
+//!    driven through both [`mobius_sim::Engine`] (calendar queue) and
+//!    [`mobius_sim::ReferenceEngine`] (binary heap); the pop streams must
+//!    produce identical FNV-1a checksums.
+//! 3. **flow-set cache** — a scripted capacity-wiggle/block/complete
+//!    workload on [`mobius_sim::FlowNetwork`], counting priority-partition
+//!    rebuilds vs reuses.
+//!
+//! The counters roll up into the `solver-counters` table, which is the
+//! committed baseline (`BENCH_solver.json`) that `scripts/verify.sh` diffs
+//! against with direction-aware rules: work counters may only shrink,
+//! reuse counters may only grow, checksums must match exactly. All
+//! deterministic solves run with `budget: None` so no wall-clock value can
+//! perturb the search. Wall timings live in a separate `solver-wall`
+//! experiment that the baseline diff and the determinism gate both ignore.
+
+use mobius_obs::WallTimer;
+use mobius_pipeline::{mip_partition_opts, MipPartitionOpts, PartitionOutcome, PipelineConfig};
+use mobius_profiler::{LayerProfile, ModelProfile};
+use mobius_sim::{Engine, FlowNetwork, ReferenceEngine, SimTime};
+
+use crate::{commodity, Experiment};
+
+const GB: u64 = 1 << 30;
+
+/// Stable id of the counter table the baseline gate diffs.
+pub const COUNTERS_ID: &str = "solver-counters";
+
+// ---------------------------------------------------------------------------
+// Direction-aware counter rules
+// ---------------------------------------------------------------------------
+
+/// How a counter is compared against the committed baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    /// Must match the baseline byte-for-byte (checksums, event totals).
+    Exact,
+    /// Work counter: regression = growing past the baseline.
+    AtMost,
+    /// Reuse counter: regression = shrinking below the baseline.
+    AtLeast,
+}
+
+impl Rule {
+    fn label(self) -> &'static str {
+        match self {
+            Rule::Exact => "exact",
+            Rule::AtMost => "<= baseline",
+            Rule::AtLeast => ">= baseline",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Rule> {
+        match s {
+            "exact" => Some(Rule::Exact),
+            "<= baseline" => Some(Rule::AtMost),
+            ">= baseline" => Some(Rule::AtLeast),
+            _ => None,
+        }
+    }
+}
+
+struct Metric {
+    name: &'static str,
+    value: String,
+    rule: Rule,
+}
+
+impl Metric {
+    fn new(name: &'static str, value: impl ToString, rule: Rule) -> Self {
+        Metric {
+            name,
+            value: value.to_string(),
+            rule,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload 1: warm vs cold replan (the resilience workload)
+// ---------------------------------------------------------------------------
+
+/// Deterministically non-uniform layer times: the balanced seed is far
+/// from optimal, so the search has real work to do and warm starts have
+/// room to prune.
+fn replan_profile() -> ModelProfile {
+    ModelProfile::from_layers(
+        (0..16)
+            .map(|i| LayerProfile {
+                fwd: SimTime::from_millis(20 + ((i * 37) % 97) as u64),
+                bwd: SimTime::from_millis(3 * (20 + ((i * 37) % 97) as u64)),
+                param_bytes: GB + (i as u64 % 3) * (GB / 4),
+                grad_bytes: GB,
+                output_act_bytes: 4 << 20,
+                workspace_bytes: 256 << 20,
+            })
+            .collect(),
+        1,
+    )
+}
+
+fn replan_cfg() -> PipelineConfig {
+    let topo = commodity(&[2, 2]);
+    PipelineConfig::mobius(4, topo.gpu_mem_bytes(), topo.avg_gpu_bandwidth())
+}
+
+fn solve(n_gpus: usize, warm: Option<Vec<usize>>) -> PartitionOutcome {
+    let opts = MipPartitionOpts {
+        // No wall-clock budget: the node counts below are byte-compared.
+        budget: None,
+        warm_start: warm,
+    };
+    mip_partition_opts(&replan_profile(), n_gpus, &replan_cfg(), &opts, None)
+        .expect("replan workload is feasible")
+}
+
+fn replan(metrics: &mut Vec<Metric>) -> Experiment {
+    let mut e = Experiment::new(
+        "solver-warm-replan",
+        "Warm-started MIP replan vs cold solve (GPU-failure workload)",
+        "extension (no paper counterpart): elastic replans prune from the \
+         previous incumbent instead of solving cold, reaching the identical \
+         optimum with strictly fewer leaf evaluations",
+    )
+    .columns([
+        "scenario",
+        "gpus",
+        "evaluated",
+        "bb nodes",
+        "pruned",
+        "warm",
+        "predicted step",
+    ]);
+
+    let cold4 = solve(4, None);
+    let cold3 = solve(3, None);
+    let warm3 = solve(3, Some(cold4.partition.sizes().to_vec()));
+
+    for (name, gpus, out) in [
+        ("cold pre-failure", 4usize, &cold4),
+        ("cold survivor", 3, &cold3),
+        ("warm survivor", 3, &warm3),
+    ] {
+        let s = out.stats.as_ref().expect("MIP solves carry stats");
+        e.push_row([
+            name.to_string(),
+            gpus.to_string(),
+            s.evaluated.to_string(),
+            s.nodes.to_string(),
+            s.pruned.to_string(),
+            if s.warm_started { "yes" } else { "no" }.to_string(),
+            out.predicted_step.to_string(),
+        ]);
+    }
+
+    let sc = cold3.stats.as_ref().expect("stats");
+    let sw = warm3.stats.as_ref().expect("stats");
+    metrics.push(Metric::new(
+        "replan.cold.evaluated",
+        sc.evaluated,
+        Rule::AtMost,
+    ));
+    metrics.push(Metric::new("replan.cold.nodes", sc.nodes, Rule::AtMost));
+    metrics.push(Metric::new(
+        "replan.warm.evaluated",
+        sw.evaluated,
+        Rule::AtMost,
+    ));
+    metrics.push(Metric::new("replan.warm.nodes", sw.nodes, Rule::AtMost));
+    metrics.push(Metric::new(
+        "replan.warm_lt_cold",
+        u8::from(sw.evaluated < sc.evaluated),
+        Rule::Exact,
+    ));
+    metrics.push(Metric::new(
+        "replan.cost_match",
+        u8::from(warm3.predicted_step == cold3.predicted_step),
+        Rule::Exact,
+    ));
+
+    e.note(format!(
+        "warm start saves {} leaf evaluations ({} vs {}) at identical cost",
+        sc.evaluated.saturating_sub(sw.evaluated),
+        sw.evaluated,
+        sc.evaluated
+    ));
+    e
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: calendar queue vs reference heap
+// ---------------------------------------------------------------------------
+
+/// xorshift64* — the same tiny deterministic generator the sim tests use.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn fnv1a(acc: u64, word: u64) -> u64 {
+    let mut h = acc;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Delay pattern of the seeded storm.
+#[derive(Clone, Copy)]
+enum StormShape {
+    /// Adversarial: dense ties early, a sparse horizon mid-storm, dense
+    /// again late — forcing calendar resizes and recalibrations. Used for
+    /// the determinism counters; the calendar's worst case.
+    Mixed,
+    /// Representative: time-local completion events a short uniform
+    /// horizon away, the distribution the simulator actually produces.
+    Uniform,
+}
+
+fn storm_delay(shape: StormShape, i: usize, events: usize, r: u64) -> u64 {
+    match shape {
+        StormShape::Mixed => match i * 3 / events {
+            0 => r % 50,
+            1 => r % 5_000_000,
+            _ => r % 10,
+        },
+        StormShape::Uniform => r % 1_000,
+    }
+}
+
+/// The seeded storm, with pop bursts so the queue breathes between growth
+/// and drain. Replayed verbatim against both engines.
+fn run_calendar(
+    seed: u64,
+    events: usize,
+    shape: StormShape,
+) -> (u64, u64, u64, mobius_sim::EngineStats) {
+    let mut e: Engine<u64> = Engine::new();
+    let mut rng = seed | 1;
+    let mut checksum = 0xCBF2_9CE4_8422_2325u64;
+    let mut popped = 0u64;
+    for i in 0..events {
+        let r = xorshift(&mut rng);
+        let delay = storm_delay(shape, i, events, r);
+        e.schedule(e.now() + SimTime::from_nanos(delay), r);
+        if r % 7 < 3 {
+            for _ in 0..(r % 4) {
+                if let Some((at, payload)) = e.pop() {
+                    checksum = fnv1a(fnv1a(checksum, at.as_nanos()), payload);
+                    popped += 1;
+                }
+            }
+        }
+    }
+    while let Some((at, payload)) = e.pop() {
+        checksum = fnv1a(fnv1a(checksum, at.as_nanos()), payload);
+        popped += 1;
+    }
+    let stats = e.stats();
+    (checksum, stats.scheduled, popped, stats)
+}
+
+fn run_reference(seed: u64, events: usize, shape: StormShape) -> (u64, u64, u64) {
+    let mut e: ReferenceEngine<u64> = ReferenceEngine::new();
+    let mut rng = seed | 1;
+    let mut checksum = 0xCBF2_9CE4_8422_2325u64;
+    let mut scheduled = 0u64;
+    let mut popped = 0u64;
+    for i in 0..events {
+        let r = xorshift(&mut rng);
+        let delay = storm_delay(shape, i, events, r);
+        e.schedule(e.now() + SimTime::from_nanos(delay), r);
+        scheduled += 1;
+        if r % 7 < 3 {
+            for _ in 0..(r % 4) {
+                if let Some((at, payload)) = e.pop() {
+                    checksum = fnv1a(fnv1a(checksum, at.as_nanos()), payload);
+                    popped += 1;
+                }
+            }
+        }
+    }
+    while let Some((at, payload)) = e.pop() {
+        checksum = fnv1a(fnv1a(checksum, at.as_nanos()), payload);
+        popped += 1;
+    }
+    (checksum, scheduled, popped)
+}
+
+const STORM_EVENTS: usize = 20_000;
+
+fn engine_events(seed: u64, metrics: &mut Vec<Metric>) -> Experiment {
+    let mut e = Experiment::new(
+        "solver-engine-events",
+        "Calendar-queue engine vs reference binary heap (seeded storm)",
+        "extension (no paper counterpart): the calendar queue pops the \
+         byte-identical (time, seq) stream as the reference heap across \
+         growth, shrink and recalibration",
+    )
+    .columns([
+        "engine",
+        "scheduled",
+        "popped",
+        "resizes",
+        "recalibrations",
+        "checksum",
+    ]);
+
+    let (cal_sum, cal_sched, cal_pop, stats) = run_calendar(seed, STORM_EVENTS, StormShape::Mixed);
+    let (ref_sum, ref_sched, ref_pop) = run_reference(seed, STORM_EVENTS, StormShape::Mixed);
+    e.push_row([
+        "calendar".to_string(),
+        cal_sched.to_string(),
+        cal_pop.to_string(),
+        stats.resizes.to_string(),
+        stats.recalibrations.to_string(),
+        format!("{cal_sum:016x}"),
+    ]);
+    e.push_row([
+        "reference".to_string(),
+        ref_sched.to_string(),
+        ref_pop.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{ref_sum:016x}"),
+    ]);
+
+    metrics.push(Metric::new("engine.popped", cal_pop, Rule::Exact));
+    metrics.push(Metric::new(
+        "engine.checksum",
+        format!("{cal_sum:016x}"),
+        Rule::Exact,
+    ));
+    metrics.push(Metric::new(
+        "engine.match",
+        u8::from(cal_sum == ref_sum && cal_pop == ref_pop && cal_sched == ref_sched),
+        Rule::Exact,
+    ));
+    metrics.push(Metric::new("engine.resizes", stats.resizes, Rule::AtMost));
+    metrics.push(Metric::new(
+        "engine.recalibrations",
+        stats.recalibrations,
+        Rule::AtMost,
+    ));
+
+    e.note(format!(
+        "{STORM_EVENTS} events, seed {seed}; pop order compared by FNV-1a checksum"
+    ));
+    e
+}
+
+// ---------------------------------------------------------------------------
+// Workload 3: flow-set partition cache
+// ---------------------------------------------------------------------------
+
+/// A scripted fabric workload: flows of mixed priority draining across
+/// three links while capacities wiggle and flows block/unblock — the exact
+/// churn the priority-partition cache exists to absorb.
+fn flow_cache(metrics: &mut Vec<Metric>) -> Experiment {
+    let mut e = Experiment::new(
+        "solver-flow-cache",
+        "Flow-set priority-partition cache under capacity churn",
+        "extension (no paper counterpart): capacity wiggles and fault \
+         block/unblock reuse the cached priority partition; only flow \
+         add/remove pays the sort",
+    )
+    .columns(["phase", "rebuilds", "reuses", "completed", "checksum"]);
+
+    let mut net = FlowNetwork::new();
+    let links = [
+        net.add_link("pcie-a", 10e9),
+        net.add_link("pcie-b", 8e9),
+        net.add_link("nic", 12e9),
+    ];
+    let mut ids = Vec::new();
+    for i in 0..12u64 {
+        let path = match i % 3 {
+            0 => vec![links[0]],
+            1 => vec![links[1], links[2]],
+            _ => vec![links[0], links[2]],
+        };
+        ids.push(net.start_flow(path, (1.0 + i as f64) * 1e8, (i % 4) as u8, i));
+    }
+    let after_start = net.flow_set_stats();
+    e.push_row([
+        "start 12 flows".to_string(),
+        after_start.rebuilds.to_string(),
+        after_start.reuses.to_string(),
+        "0".to_string(),
+        "-".to_string(),
+    ]);
+
+    // Churn: wiggle each link and freeze/thaw a third of the flows.
+    for round in 0..8u64 {
+        for (k, &l) in links.iter().enumerate() {
+            let base = [10e9, 8e9, 12e9][k];
+            net.set_link_capacity(l, base * (0.75 + 0.05 * ((round + k as u64) % 5) as f64));
+        }
+        for (j, &id) in ids.iter().enumerate() {
+            if j as u64 % 3 == round % 3 {
+                net.set_flow_blocked(id, round % 2 == 0);
+            }
+        }
+    }
+    for &id in &ids {
+        net.set_flow_blocked(id, false);
+    }
+    let after_churn = net.flow_set_stats();
+    e.push_row([
+        "8 churn rounds".to_string(),
+        after_churn.rebuilds.to_string(),
+        after_churn.reuses.to_string(),
+        "0".to_string(),
+        "-".to_string(),
+    ]);
+
+    // Drain: advance to each completion and retire the flow.
+    let mut checksum = 0xCBF2_9CE4_8422_2325u64;
+    let mut completed = 0u64;
+    while let Some((at, id)) = net.next_completion() {
+        net.advance_to(at);
+        let rec = net
+            .complete(id)
+            .expect("completion instant came from next_completion");
+        checksum = fnv1a(fnv1a(checksum, rec.user), rec.finished.as_nanos());
+        completed += 1;
+    }
+    let after_drain = net.flow_set_stats();
+    e.push_row([
+        "drain".to_string(),
+        after_drain.rebuilds.to_string(),
+        after_drain.reuses.to_string(),
+        completed.to_string(),
+        format!("{checksum:016x}"),
+    ]);
+
+    metrics.push(Metric::new(
+        "flow.rebuilds",
+        after_drain.rebuilds,
+        Rule::AtMost,
+    ));
+    metrics.push(Metric::new(
+        "flow.reuses",
+        after_drain.reuses,
+        Rule::AtLeast,
+    ));
+    metrics.push(Metric::new("flow.completed", completed, Rule::Exact));
+    metrics.push(Metric::new(
+        "flow.checksum",
+        format!("{checksum:016x}"),
+        Rule::Exact,
+    ));
+
+    e.note("blocked flows stay in the cached partition and are filtered at allocation time");
+    e
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock experiment (machine-dependent; never baseline-diffed)
+// ---------------------------------------------------------------------------
+
+fn wall(quick: bool, seed: u64) -> Experiment {
+    let mut e = Experiment::new(
+        "solver-wall",
+        "Hot-path wall timings (machine-dependent; excluded from baselines)",
+        "extension (no paper counterpart): indicative speed of the \
+         optimised paths on this machine — the committed baseline tracks \
+         the deterministic counters above, never these numbers",
+    )
+    .columns(["workload", "variant", "wall"]);
+    let reps = if quick { 1 } else { 3 };
+
+    let cold4 = solve(4, None);
+    let best = |f: &dyn Fn()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = WallTimer::start();
+            f();
+            best = best.min(t.elapsed().secs());
+        }
+        best
+    };
+
+    let cold = best(&|| {
+        let _ = solve(3, None);
+    });
+    let warm_sizes = cold4.partition.sizes().to_vec();
+    let warm = best(&|| {
+        let _ = solve(3, Some(warm_sizes.clone()));
+    });
+    e.push_row([
+        "mip replan".to_string(),
+        "cold".to_string(),
+        crate::fmt_secs(cold),
+    ]);
+    e.push_row([
+        "mip replan".to_string(),
+        "warm".to_string(),
+        crate::fmt_secs(warm),
+    ]);
+
+    let events = if quick {
+        STORM_EVENTS
+    } else {
+        STORM_EVENTS * 5
+    };
+    for (label, shape) in [
+        ("uniform storm", StormShape::Uniform),
+        ("adversarial storm", StormShape::Mixed),
+    ] {
+        let cal = best(&|| {
+            let _ = run_calendar(seed, events, shape);
+        });
+        let reference = best(&|| {
+            let _ = run_reference(seed, events, shape);
+        });
+        e.push_row([
+            format!("{label} ({events} events)"),
+            "calendar".to_string(),
+            crate::fmt_secs(cal),
+        ]);
+        e.push_row([
+            format!("{label} ({events} events)"),
+            "reference heap".to_string(),
+            crate::fmt_secs(reference),
+        ]);
+    }
+    e.note(format!(
+        "best of {reps} run(s); regenerate with `cargo run -p mobius-bench --bin solver_perf`"
+    ));
+    e.note(
+        "the adversarial storm mixes nanosecond ties with a millisecond horizon — the textbook \
+         worst case for a calendar queue, kept here so the degradation stays visible; the \
+         uniform storm is what the simulator's completion events actually look like",
+    );
+    e
+}
+
+// ---------------------------------------------------------------------------
+// Assembly, baseline extraction, and the regression check
+// ---------------------------------------------------------------------------
+
+/// The deterministic experiments plus the rolled-up counter table. Two
+/// calls with the same seed render byte-identical JSON (the determinism
+/// gate of `scripts/verify.sh`); `quick` has no effect here by design.
+pub fn deterministic(seed: u64) -> Vec<Experiment> {
+    let mut metrics = Vec::new();
+    let replan = replan(&mut metrics);
+    let engine = engine_events(seed, &mut metrics);
+    let flows = flow_cache(&mut metrics);
+
+    let mut counters = Experiment::new(
+        COUNTERS_ID,
+        "Deterministic solver/engine work counters (the committed baseline)",
+        "extension (no paper counterpart): the unit-of-work ledger \
+         BENCH_solver.json pins; verify.sh fails when a counter regresses \
+         against its direction rule",
+    )
+    .columns(["metric", "value", "rule"]);
+    for m in &metrics {
+        counters.push_row([
+            m.name.to_string(),
+            m.value.clone(),
+            m.rule.label().to_string(),
+        ]);
+    }
+    counters.note("regenerate the baseline with `UPDATE_BASELINE=1 scripts/verify.sh`");
+    vec![replan, engine, flows, counters]
+}
+
+/// Full run: deterministic workloads plus the wall-clock table.
+pub fn run(quick: bool, seed: u64) -> Vec<Experiment> {
+    let mut all = deterministic(seed);
+    all.push(wall(quick, seed));
+    all
+}
+
+/// Extracts the row cells of the experiment `id` from a JSON report
+/// produced by [`crate::render_json_report`]. Hand-rolled on purpose: the
+/// workspace `serde` is a marker shim and the report grammar is our own
+/// emitter's, whose strings (counter names, integers, hex digests) never
+/// contain escapes.
+fn extract_rows(doc: &str, id: &str) -> Option<Vec<Vec<String>>> {
+    let start = doc.find(&format!("\"id\":\"{id}\""))?;
+    let key = "\"rows\":[";
+    let mut i = start + doc[start..].find(key)? + key.len();
+    let bytes = doc.as_bytes();
+    let mut rows = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 1usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => {
+                depth += 1;
+                cur = Vec::new();
+            }
+            b']' => {
+                depth -= 1;
+                if depth == 1 {
+                    rows.push(std::mem::take(&mut cur));
+                }
+                if depth == 0 {
+                    return Some(rows);
+                }
+            }
+            b'"' => {
+                let end = i + 1 + doc[i + 1..].find('"')?;
+                cur.push(doc[i + 1..end].to_string());
+                i = end;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// One line of the delta table the check prints.
+struct Delta {
+    metric: String,
+    baseline: String,
+    current: String,
+    rule: Rule,
+    ok: bool,
+}
+
+/// Re-runs the deterministic workloads and diffs the counter table against
+/// `baseline_json` (the committed `BENCH_solver.json`).
+///
+/// # Errors
+///
+/// Returns the rendered delta table as `Err` when any counter violates its
+/// direction rule or the tables disagree structurally; returns it as `Ok`
+/// when everything holds.
+pub fn check_against(baseline_json: &str, seed: u64) -> Result<String, String> {
+    let baseline = extract_rows(baseline_json, COUNTERS_ID).ok_or_else(|| {
+        format!("baseline has no `{COUNTERS_ID}` experiment — regenerate with UPDATE_BASELINE=1")
+    })?;
+    let fresh = deterministic(seed);
+    let doc = crate::render_json_report(fresh.iter());
+    let current = extract_rows(&doc, COUNTERS_ID).expect("we just rendered it");
+
+    let lookup: std::collections::BTreeMap<&str, (&str, &str)> = baseline
+        .iter()
+        .filter(|r| r.len() == 3)
+        .map(|r| (r[0].as_str(), (r[1].as_str(), r[2].as_str())))
+        .collect();
+
+    let mut deltas = Vec::new();
+    let mut failed = false;
+    for row in &current {
+        let (metric, value, rule_label) = (&row[0], &row[1], &row[2]);
+        let rule = Rule::from_label(rule_label).expect("rules are emitted by this module");
+        let (ok, base) = match lookup.get(metric.as_str()) {
+            None => (false, "<missing>".to_string()),
+            Some((bv, brule)) => {
+                let structural = *brule == rule_label.as_str();
+                let holds = match rule {
+                    Rule::Exact => value == bv,
+                    Rule::AtMost | Rule::AtLeast => {
+                        match (value.parse::<f64>(), bv.parse::<f64>()) {
+                            (Ok(c), Ok(b)) if rule == Rule::AtMost => c <= b,
+                            (Ok(c), Ok(b)) => c >= b,
+                            _ => false,
+                        }
+                    }
+                };
+                (structural && holds, (*bv).to_string())
+            }
+        };
+        failed |= !ok;
+        deltas.push(Delta {
+            metric: metric.clone(),
+            baseline: base,
+            current: value.clone(),
+            rule,
+            ok,
+        });
+    }
+    for r in &baseline {
+        if r.len() == 3 && !current.iter().any(|c| c[0] == r[0]) {
+            failed = true;
+            deltas.push(Delta {
+                metric: r[0].clone(),
+                baseline: r[1].clone(),
+                current: "<missing>".to_string(),
+                rule: Rule::from_label(&r[2]).unwrap_or(Rule::Exact),
+                ok: false,
+            });
+        }
+    }
+
+    let mut table = Experiment::new(
+        "solver-baseline-delta",
+        "Counter delta vs committed BENCH_solver.json",
+        "internal check table",
+    )
+    .columns(["metric", "baseline", "current", "rule", "status"]);
+    for d in &deltas {
+        table.push_row([
+            d.metric.clone(),
+            d.baseline.clone(),
+            d.current.clone(),
+            d.rule.label().to_string(),
+            if d.ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    let rendered = table.render_text();
+    if failed {
+        Err(rendered)
+    } else {
+        Ok(rendered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render_json_report;
+
+    #[test]
+    fn warm_replan_beats_cold_at_identical_cost() {
+        // The PR's acceptance criterion, pinned at bench level.
+        let mut metrics = Vec::new();
+        let _ = replan(&mut metrics);
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+                .clone()
+        };
+        assert_eq!(get("replan.warm_lt_cold"), "1");
+        assert_eq!(get("replan.cost_match"), "1");
+    }
+
+    #[test]
+    fn calendar_and_reference_agree() {
+        let mut metrics = Vec::new();
+        let _ = engine_events(42, &mut metrics);
+        let m = metrics.iter().find(|m| m.name == "engine.match").unwrap();
+        assert_eq!(m.value, "1");
+    }
+
+    #[test]
+    fn flow_cache_reuses_partitions() {
+        let mut metrics = Vec::new();
+        let _ = flow_cache(&mut metrics);
+        let reuses: u64 = metrics
+            .iter()
+            .find(|m| m.name == "flow.reuses")
+            .unwrap()
+            .value
+            .parse()
+            .unwrap();
+        let completed: u64 = metrics
+            .iter()
+            .find(|m| m.name == "flow.completed")
+            .unwrap()
+            .value
+            .parse()
+            .unwrap();
+        assert_eq!(completed, 12);
+        assert!(reuses > 0, "churn rounds must hit the cache");
+    }
+
+    #[test]
+    fn deterministic_runs_render_identically() {
+        let a = render_json_report(deterministic(42).iter());
+        let b = render_json_report(deterministic(42).iter());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extract_rows_round_trips_the_report_grammar() {
+        let doc = render_json_report(deterministic(42).iter());
+        let rows = extract_rows(&doc, COUNTERS_ID).expect("counters present");
+        assert!(rows.iter().all(|r| r.len() == 3));
+        assert!(rows.iter().any(|r| r[0] == "replan.warm.evaluated"));
+        assert!(extract_rows(&doc, "no-such-id").is_none());
+    }
+
+    #[test]
+    fn check_passes_against_a_fresh_baseline() {
+        let baseline = render_json_report(deterministic(42).iter());
+        let table = check_against(&baseline, 42).expect("fresh baseline must pass");
+        assert!(table.contains("replan.warm.evaluated"));
+        assert!(!table.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn check_fails_on_a_work_counter_regression() {
+        // Shrink the baseline's allowance for cold evaluations to below
+        // what the workload spends: AtMost must flag the excess.
+        let doc = render_json_report(deterministic(42).iter());
+        let rows = extract_rows(&doc, COUNTERS_ID).unwrap();
+        let spent = rows
+            .iter()
+            .find(|r| r[0] == "replan.cold.evaluated")
+            .unwrap()[1]
+            .clone();
+        let tampered = doc.replace(
+            &format!("[\"replan.cold.evaluated\",\"{spent}\""),
+            "[\"replan.cold.evaluated\",\"0\"",
+        );
+        assert_ne!(doc, tampered, "tamper must hit");
+        let err = check_against(&tampered, 42).expect_err("regression must fail");
+        assert!(err.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn check_fails_on_a_missing_metric() {
+        let doc = render_json_report(deterministic(42).iter());
+        let tampered = doc.replace("flow.reuses", "flow.reuses_renamed");
+        let err = check_against(&tampered, 42).expect_err("rename must fail");
+        assert!(err.contains("<missing>"));
+    }
+}

@@ -262,7 +262,10 @@ pub fn simulate_ring_allreduce(
                     .expect("in-flight ring chunks must complete");
                 net.net_mut().advance_to(t);
                 now = t;
-                let rec = net.net_mut().complete(fid);
+                let rec = net
+                    .net_mut()
+                    .complete(fid)
+                    .expect("completion instant came from next_completion");
                 let (src, dst) = in_flight.remove(&fid).expect("untracked ring flow");
                 per_server_tx[src] += rec.bytes;
                 per_server_rx[dst] += rec.bytes;

@@ -457,19 +457,34 @@ impl FineTuner {
     /// [`FineTuner::plan`] generalised over the topology and partition
     /// algorithm — the elastic-replan and degradation-ladder entry point.
     fn plan_on(&self, topo: &Topology, algo: PartitionAlgo) -> Result<Plan, RunError> {
+        self.plan_on_warm(topo, algo, None)
+    }
+
+    /// [`FineTuner::plan_on`] with an optional warm-start incumbent: the
+    /// partition that was running before a topology change. A layer
+    /// segmentation names no GPU indices, so the previous sizes project
+    /// onto the survivor topology unchanged; the MIP re-costs them under
+    /// the survivor objective and prunes from that near-optimal bound
+    /// instead of solving cold. Non-MIP algorithms ignore the hint.
+    fn plan_on_warm(
+        &self,
+        topo: &Topology,
+        algo: PartitionAlgo,
+        warm_start: Option<Vec<usize>>,
+    ) -> Result<Plan, RunError> {
         let (model, profile) = self.profile();
         let cfg = self.pipeline_cfg_on(topo, MemoryMode::Heterogeneous);
         let n = topo.num_gpus();
 
         let solve_timer = WallTimer::start();
         let outcome = match algo {
-            PartitionAlgo::Mip => mobius_pipeline::mip_partition_traced(
-                &profile,
-                n,
-                &cfg,
-                self.mip_budget,
-                self.obs.as_ref(),
-            )?,
+            PartitionAlgo::Mip => {
+                let opts = mobius_pipeline::MipPartitionOpts {
+                    budget: Some(self.mip_budget),
+                    warm_start,
+                };
+                mobius_pipeline::mip_partition_opts(&profile, n, &cfg, &opts, self.obs.as_ref())?
+            }
             other => partition_model(other, &profile, n, &cfg)?,
         };
         let mip_solve_wall = solve_timer.elapsed();
@@ -594,12 +609,17 @@ impl FineTuner {
         let mut topo = self.topo.clone();
         let mut faults = self.faults.clone().unwrap_or_default();
         let mut algo = self.partition_algo;
+        // The partition running when a GPU fails warm-starts the replan's
+        // MIP on the survivor topology (incremental re-solve).
+        let mut warm: Option<Vec<usize>> = None;
 
         loop {
+            let mut planned_sizes: Option<Vec<usize>> = None;
             let attempt = self
-                .plan_on(&topo, algo)
+                .plan_on_warm(&topo, algo, warm.take())
                 .map_err(AttemptError::Run)
                 .and_then(|plan| {
+                    planned_sizes = Some(plan.partition.sizes().to_vec());
                     let cfg = self.pipeline_cfg_on(&topo, MemoryMode::Heterogeneous);
                     self.pipeline_attempt(&plan.stages, &plan.mapping, &topo, &cfg, &faults)
                 });
@@ -653,7 +673,10 @@ impl FineTuner {
                     });
                     topo = survivor;
                     // GPU indices renumber on the survivor; only
-                    // link-addressed faults still mean what they said.
+                    // link-addressed faults still mean what they said. The
+                    // segmentation names no GPUs, so it carries over as the
+                    // warm start for the re-solve.
+                    warm = planned_sizes;
                     faults = faults.link_faults_only();
                 }
                 Err(AttemptError::Run(err @ RunError::OutOfMemory(_)))
@@ -1308,6 +1331,44 @@ mod tests {
             .run_steps(2)
             .unwrap_err();
         assert!(matches!(err, RunError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn warm_started_replan_matches_cold_plan_on_survivors() {
+        // A hard GPU failure replans the step on the 3-GPU survivor
+        // topology, warm-started from the 4-GPU partition. The warm start
+        // must be a pure accelerant: the recovered step must land on the
+        // exact plan a cold solve on the survivors produces.
+        let cfg = GptConfig::gpt_3b();
+        let obs = Obs::new();
+        let faulted = FineTuner::new(cfg.clone())
+            .topology(commodity(&[2, 2]))
+            .system(System::Mobius)
+            .num_microbatches(4)
+            .mip_budget_ms(500)
+            .faults(FaultSchedule::new().fail_gpu(2, SimTime::from_millis(50)))
+            .resilience(ResiliencePolicy::recover())
+            .observe(obs.clone())
+            .run_step()
+            .unwrap();
+        assert_eq!(obs.counter("fault.replans"), 1.0);
+        assert!(faulted
+            .degradations
+            .iter()
+            .any(|d| matches!(d.action, DegradeAction::ElasticReplan { .. })));
+
+        let survivor = commodity(&[2, 2]).without_gpu(2).expect("3 GPUs remain");
+        let cold = FineTuner::new(cfg)
+            .topology(survivor)
+            .system(System::Mobius)
+            .num_microbatches(4)
+            .mip_budget_ms(500)
+            .run_step()
+            .unwrap();
+        assert_eq!(
+            faulted.step_time, cold.step_time,
+            "warm-started replan must reproduce the cold survivor plan"
+        );
     }
 
     #[test]

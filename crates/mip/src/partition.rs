@@ -53,6 +53,11 @@ pub struct SearchStats {
     pub evaluated: usize,
     /// Internal nodes pruned by the lower bound.
     pub pruned: usize,
+    /// Internal branch-and-bound nodes expanded.
+    pub nodes: usize,
+    /// Whether a warm-start candidate was feasible and installed as the
+    /// initial incumbent (see [`SegmentSearch::warm_start`]).
+    pub warm_started: bool,
     /// Diagnostics-only wall-clock spent searching; machine-dependent, so
     /// it never reaches a byte-compared artifact (see
     /// [`mobius_obs::walltime`]).
@@ -109,6 +114,7 @@ pub struct SegmentSearch {
     node_limit: usize,
     time_budget: Option<Duration>,
     seed: Option<(Vec<usize>, f64)>,
+    warm: Option<Vec<usize>>,
     obs: Option<mobius_obs::Obs>,
 }
 
@@ -126,6 +132,7 @@ impl SegmentSearch {
             node_limit: 2_000_000,
             time_budget: None,
             seed: None,
+            warm: None,
             obs: None,
         }
     }
@@ -144,6 +151,24 @@ impl SegmentSearch {
     /// or equal, and pruning bites from the first node.
     pub fn seed(mut self, sizes: Vec<usize>, cost: f64) -> Self {
         self.seed = Some((sizes, cost));
+        self
+    }
+
+    /// Warm-starts the search from a previous solution's segmentation —
+    /// the incremental re-solve path for elastic replans.
+    ///
+    /// Unlike [`SegmentSearch::seed`], the cost is *not* supplied: the
+    /// candidate is re-evaluated under the **current** objective before the
+    /// search begins, because the objective has typically changed since the
+    /// sizes were optimal (fewer GPUs after a failure, different memory
+    /// caps). An infeasible or ill-shaped candidate (sizes not summing to
+    /// the item count) is silently ignored and the solve falls back to
+    /// cold; a feasible one becomes the initial incumbent so pruning bites
+    /// from a near-optimal bound on the very first node. The optimum found
+    /// is identical to a cold solve — only the number of nodes explored
+    /// changes.
+    pub fn warm_start(mut self, sizes: Vec<usize>) -> Self {
+        self.warm = Some(sizes);
         self
     }
 
@@ -174,6 +199,20 @@ impl SegmentSearch {
             complete: true,
             ..SearchStats::default()
         };
+        // Warm start: re-evaluate the previous solution under the current
+        // objective; if feasible and at least as good as any seed, it is
+        // the initial incumbent.
+        if let Some(sizes) = &self.warm {
+            if sizes.iter().sum::<usize>() == self.n_items && sizes.len() <= self.max_stages {
+                stats.evaluated += 1;
+                if let Some(cost) = obj.cost(sizes) {
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        best = Some((sizes.clone(), cost));
+                        stats.warm_started = true;
+                    }
+                }
+            }
+        }
         let mut prefix: Vec<usize> = Vec::new();
         let mut nodes = 0usize;
         self.dfs(
@@ -185,16 +224,27 @@ impl SegmentSearch {
             &mut nodes,
             &timer,
         );
+        stats.nodes = nodes;
         stats.wall_elapsed = timer.elapsed();
         if let Some(obs) = &self.obs {
             obs.counter_add("mip.evaluated", stats.evaluated as f64);
             obs.counter_add("mip.pruned", stats.pruned as f64);
+            obs.counter_add("mip.nodes", stats.nodes as f64);
+            if stats.warm_started {
+                obs.counter_add("mip.warm_started", 1.0);
+            }
             if let (Some((_, seed_cost)), Some((_, final_cost))) = (&self.seed, &best) {
                 // Relative incumbent improvement: how far the search moved
-                // below the seed it started from (0 = seed was optimal).
-                if *seed_cost > 0.0 {
-                    obs.gauge_set("mip.incumbent_gap", (seed_cost - final_cost) / seed_cost);
-                }
+                // below the seed it started from (0 = seed was optimal). A
+                // zero-cost seed cannot be improved on, so the gap is 0 by
+                // definition — guarding the division keeps NaN out of the
+                // metrics registry (it would survive until JSON export).
+                let gap = if *seed_cost > 0.0 {
+                    (seed_cost - final_cost) / seed_cost
+                } else {
+                    0.0
+                };
+                obs.gauge_set("mip.incumbent_gap", gap);
             }
         }
         best.map(|(sizes, cost)| SegmentResult { sizes, cost, stats })
@@ -566,5 +616,82 @@ mod tests {
         let (sizes, cost) = chain_partition_dp(&[42.0], 4);
         assert_eq!(sizes, vec![1]);
         assert_eq!(cost, 42.0);
+    }
+
+    #[test]
+    fn warm_start_same_cost_fewer_nodes() {
+        let weights: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64 + 1.0).collect();
+        let obj = Balance {
+            weights: weights.clone(),
+            max_parts: 5,
+        };
+        let cold = SegmentSearch::new(weights.len())
+            .max_stages(5)
+            .solve(&obj)
+            .expect("feasible");
+        assert!(cold.stats.complete);
+        let warm = SegmentSearch::new(weights.len())
+            .max_stages(5)
+            .warm_start(cold.sizes.clone())
+            .solve(&obj)
+            .expect("feasible");
+        assert!(warm.stats.warm_started);
+        // Bit-identical optimum, strictly less work.
+        assert_eq!(warm.cost, cold.cost);
+        assert!(
+            warm.stats.evaluated < cold.stats.evaluated,
+            "warm {} !< cold {}",
+            warm.stats.evaluated,
+            cold.stats.evaluated
+        );
+        assert!(warm.stats.nodes <= cold.stats.nodes);
+    }
+
+    #[test]
+    fn infeasible_warm_start_falls_back_to_cold() {
+        let weights = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let obj = Balance {
+            weights: weights.clone(),
+            max_parts: 3,
+        };
+        let cold = SegmentSearch::new(6).max_stages(3).solve(&obj).unwrap();
+        // Wrong item total: ignored entirely.
+        let bad_sum = SegmentSearch::new(6)
+            .max_stages(3)
+            .warm_start(vec![2, 2])
+            .solve(&obj)
+            .unwrap();
+        assert!(!bad_sum.stats.warm_started);
+        assert_eq!(bad_sum.cost, cold.cost);
+        // Too many stages for the objective: evaluated, found infeasible,
+        // search still reaches the cold optimum.
+        let bad_stages = SegmentSearch::new(6)
+            .max_stages(6)
+            .warm_start(vec![1, 1, 1, 1, 1, 1])
+            .solve(&obj)
+            .unwrap();
+        assert!(!bad_stages.stats.warm_started);
+        assert_eq!(bad_stages.cost, cold.cost);
+    }
+
+    #[test]
+    fn zero_cost_seed_emits_finite_incumbent_gap() {
+        // A zero-cost seeded incumbent must not divide the gap gauge into
+        // NaN — the registry would carry it silently until JSON export.
+        struct Free;
+        impl SegmentObjective for Free {
+            fn cost(&self, _sizes: &[usize]) -> Option<f64> {
+                Some(0.0)
+            }
+        }
+        let obs = mobius_obs::Obs::new();
+        SegmentSearch::new(3)
+            .seed(vec![3], 0.0)
+            .observe(obs.clone())
+            .solve(&Free)
+            .expect("feasible");
+        let gap = obs.gauge("mip.incumbent_gap").expect("gauge present");
+        assert!(gap.is_finite(), "incumbent gap must be finite, got {gap}");
+        assert_eq!(gap, 0.0);
     }
 }

@@ -2,7 +2,56 @@
 
 use proptest::prelude::*;
 
-use mobius_mip::{chain_partition_dp, Cmp, Lp, LpOutcome, Mip, MipOutcome, Sense};
+use mobius_mip::{
+    chain_partition_dp, Cmp, Lp, LpOutcome, Mip, MipOutcome, SegmentObjective, SegmentSearch, Sense,
+};
+
+/// Bottleneck (max stage weight) objective over contiguous segmentations,
+/// capped at `max_parts` stages.
+struct Bottleneck {
+    weights: Vec<f64>,
+    max_parts: usize,
+}
+
+impl SegmentObjective for Bottleneck {
+    fn cost(&self, sizes: &[usize]) -> Option<f64> {
+        if sizes.len() > self.max_parts {
+            return None;
+        }
+        let mut i = 0;
+        let mut worst: f64 = 0.0;
+        for &s in sizes {
+            worst = worst.max(self.weights[i..i + s].iter().sum());
+            i += s;
+        }
+        Some(worst)
+    }
+
+    fn lower_bound(&self, prefix: &[usize], _covered: usize) -> f64 {
+        let mut i = 0;
+        let mut worst: f64 = 0.0;
+        for &s in prefix {
+            worst = worst.max(self.weights[i..i + s].iter().sum());
+            i += s;
+        }
+        worst
+    }
+}
+
+/// Turns sorted random breakpoints into stage sizes summing to `n`.
+fn sizes_from_breaks(n: usize, mut breaks: Vec<usize>) -> Vec<usize> {
+    breaks.retain(|&b| b > 0 && b < n);
+    breaks.sort_unstable();
+    breaks.dedup();
+    let mut sizes = Vec::with_capacity(breaks.len() + 1);
+    let mut prev = 0;
+    for b in breaks {
+        sizes.push(b - prev);
+        prev = b;
+    }
+    sizes.push(n - prev);
+    sizes
+}
 
 /// Brute-force 0/1 knapsack for cross-checking the MIP solver.
 fn knapsack_brute(values: &[f64], weights: &[f64], cap: f64) -> f64 {
@@ -121,5 +170,39 @@ proptest! {
         let k_eff = k.min(weights.len());
         prop_assert!(cost >= total / k_eff as f64 - 1e-9);
         prop_assert!(cost <= total + 1e-9);
+    }
+
+    /// A warm start is a pure accelerant: whatever (possibly infeasible)
+    /// candidate it is given, the search returns the bit-identical optimum
+    /// the cold solve finds, without expanding more nodes.
+    #[test]
+    fn warm_start_never_changes_the_optimum(
+        weights in prop::collection::vec(0.5f64..10.0, 3..12),
+        max_parts in 1usize..6,
+        breaks in prop::collection::vec(1usize..12, 0..5),
+    ) {
+        let n = weights.len();
+        let obj = Bottleneck { weights, max_parts };
+        let cold = SegmentSearch::new(n)
+            .max_stages(max_parts)
+            .solve(&obj)
+            .expect("bottleneck instances are always feasible");
+        // The candidate may exceed max_parts — then it must be ignored.
+        let candidate = sizes_from_breaks(n, breaks);
+        let warm = SegmentSearch::new(n)
+            .max_stages(max_parts)
+            .warm_start(candidate)
+            .solve(&obj)
+            .expect("warm start must not break feasibility");
+        prop_assert_eq!(cold.cost.to_bits(), warm.cost.to_bits(), "cost diverged");
+        // The returned segmentation must actually achieve that cost (an
+        // optimal-cost warm candidate may legitimately be kept as-is).
+        prop_assert_eq!(obj.cost(&warm.sizes), Some(warm.cost));
+        prop_assert!(
+            warm.stats.nodes <= cold.stats.nodes,
+            "warm start expanded more nodes ({} > {})",
+            warm.stats.nodes,
+            cold.stats.nodes
+        );
     }
 }

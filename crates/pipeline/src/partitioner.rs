@@ -183,6 +183,46 @@ pub fn mip_partition_traced(
     budget: Duration,
     obs: Option<&mobius_obs::Obs>,
 ) -> Result<PartitionOutcome, ScheduleError> {
+    let opts = MipPartitionOpts {
+        budget: Some(budget),
+        warm_start: None,
+    };
+    mip_partition_opts(profile, n_gpus, cfg, &opts, obs)
+}
+
+/// Options for the MIP partition search beyond [`mip_partition`]'s defaults.
+#[derive(Debug, Clone, Default)]
+pub struct MipPartitionOpts {
+    /// Wall-clock budget; `None` runs the search to the node limit, which
+    /// keeps the search statistics byte-deterministic across machines (the
+    /// mode the solver-perf bench and its committed baseline require —
+    /// wall-clock cutoffs fire at machine-dependent nodes).
+    pub budget: Option<Duration>,
+    /// A previous solution's per-stage sizes, used to warm-start the
+    /// branch-and-bound (see [`SegmentSearch::warm_start`]). The elastic
+    /// replan path passes the partition that was running when a GPU failed:
+    /// a layer segmentation mentions no GPU indices, so it projects onto
+    /// the survivor topology as-is — only the stage→GPU mapping and the
+    /// objective change, and the candidate is re-costed under the new
+    /// objective before it is trusted as the incumbent.
+    pub warm_start: Option<Vec<usize>>,
+}
+
+/// [`mip_partition_traced`] with explicit [`MipPartitionOpts`]: optional
+/// wall budget (for deterministic-counter runs) and a warm-start incumbent
+/// (for incremental re-solves after a topology change).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::StageTooLarge`] when no feasible segmentation
+/// exists.
+pub fn mip_partition_opts(
+    profile: &ModelProfile,
+    n_gpus: usize,
+    cfg: &PipelineConfig,
+    opts: &MipPartitionOpts,
+    obs: Option<&mobius_obs::Obs>,
+) -> Result<PartitionOutcome, ScheduleError> {
     let l = profile.len();
     let objective = PipelineObjective {
         profile,
@@ -213,9 +253,15 @@ pub fn mip_partition_traced(
         }
     }
 
-    let mut search = SegmentSearch::new(l).time_budget(budget);
+    let mut search = SegmentSearch::new(l);
+    if let Some(budget) = opts.budget {
+        search = search.time_budget(budget);
+    }
     if let Some((sizes, cost)) = &seed {
         search = search.seed(sizes.clone(), *cost);
+    }
+    if let Some(sizes) = &opts.warm_start {
+        search = search.warm_start(sizes.clone());
     }
     if let Some(obs) = obs {
         search = search.observe(obs.clone());
@@ -372,6 +418,24 @@ mod tests {
         )
     }
 
+    fn varied_profile(n: usize) -> ModelProfile {
+        // Deterministically non-uniform layer times: the balanced seed is
+        // far from optimal, so warm starts have room to prune.
+        ModelProfile::from_layers(
+            (0..n)
+                .map(|i| LayerProfile {
+                    fwd: SimTime::from_millis(20 + ((i * 37) % 97) as u64),
+                    bwd: SimTime::from_millis(3 * (20 + ((i * 37) % 97) as u64)),
+                    param_bytes: GB + (i as u64 % 3) * (GB / 4),
+                    grad_bytes: GB,
+                    output_act_bytes: 4 << 20,
+                    workspace_bytes: 256 << 20,
+                })
+                .collect(),
+            1,
+        )
+    }
+
     fn cfg() -> PipelineConfig {
         PipelineConfig {
             num_microbatches: 4,
@@ -493,6 +557,35 @@ mod tests {
             let out = partition_model(algo, &p, 4, &c).unwrap();
             assert_eq!(out.partition.num_layers(), 8);
         }
+    }
+
+    #[test]
+    fn warm_replan_matches_cold_with_less_work() {
+        // The elastic-replan shape: solve for 4 GPUs, lose one, re-solve
+        // for 3 warm-started from the 4-GPU segmentation. No wall budget —
+        // both solves run to completion, so the comparison is exact.
+        let p = varied_profile(14);
+        let c = cfg();
+        let cold_opts = MipPartitionOpts::default();
+        let four = mip_partition_opts(&p, 4, &c, &cold_opts, None).unwrap();
+        let cold = mip_partition_opts(&p, 3, &c, &cold_opts, None).unwrap();
+        let warm_opts = MipPartitionOpts {
+            budget: None,
+            warm_start: Some(four.partition.sizes().to_vec()),
+        };
+        let warm = mip_partition_opts(&p, 3, &c, &warm_opts, None).unwrap();
+        // Bit-identical optimum...
+        assert_eq!(warm.predicted_step, cold.predicted_step);
+        assert_eq!(warm.partition.sizes(), cold.partition.sizes());
+        // ...for strictly fewer exact evaluations.
+        let (ws, cs) = (warm.stats.unwrap(), cold.stats.unwrap());
+        assert!(ws.complete && cs.complete);
+        assert!(
+            ws.evaluated < cs.evaluated,
+            "warm {} !< cold {}",
+            ws.evaluated,
+            cs.evaluated
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::validate::InvariantViolation;
 use crate::SimTime;
 
 /// Identifies a link added with [`FlowNetwork::add_link`].
@@ -113,7 +114,28 @@ pub struct FlowNetwork {
     next_id: u64,
     now: SimTime,
     strict: bool,
+    /// Cached priority partition: distinct priorities descending, each with
+    /// its member ids ascending. `None` means dirty — membership changed
+    /// since the last rate solve. Flow priorities are immutable after
+    /// [`FlowNetwork::start_flow`], so only add/remove invalidates; blocked
+    /// flows stay in the partition and are filtered at allocation time.
+    classes: Option<Vec<(Priority, Vec<FlowId>)>>,
+    partition_rebuilds: u64,
+    partition_reuses: u64,
     obs: Option<mobius_obs::Obs>,
+}
+
+/// Deterministic counters for the priority-partition cache inside
+/// [`FlowNetwork`] — how often a rate solve had to rebuild the
+/// priority-sorted flow partition versus reusing the cached one ("sorts
+/// avoided"). Pure functions of the call sequence, safe to snapshot into
+/// byte-compared artifacts like `BENCH_solver.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowSetStats {
+    /// Rate solves that rebuilt (sorted) the priority partition.
+    pub rebuilds: u64,
+    /// Rate solves that reused the cached partition.
+    pub reuses: u64,
 }
 
 impl FlowNetwork {
@@ -236,6 +258,7 @@ impl FlowNetwork {
                 blocked: false,
             },
         );
+        self.classes = None;
         self.recompute_rates();
         id
     }
@@ -445,71 +468,126 @@ impl FlowNetwork {
     /// reported by [`FlowNetwork::next_completion`]); sub-byte residues from
     /// floating-point rounding are forgiven.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the id is unknown or if visibly more than a rounding
-    /// residue is still pending (completing an unfinished flow is an
-    /// executor bug). Because [`FlowNetwork::next_completion`] quantizes
-    /// completion instants up to the next nanosecond, a flow may carry up
-    /// to ~1 ns worth of bytes at its final rate; the tolerance therefore
-    /// scales with the rate (a 600 GB/s NVLink flow legally holds ~600
-    /// residual bytes) with a 64-byte floor for slow flows.
-    pub fn complete(&mut self, id: FlowId) -> FlowRecord {
-        let f = self.flows.remove(&id).expect("unknown flow id");
+    /// Returns a typed [`InvariantViolation`] instead of unwinding, because
+    /// the interesting failure is a *race*, not a programming error: the
+    /// executor's watchdog-retry path can tear a stalled flow down inside a
+    /// fault window and later see the original completion for an id that no
+    /// longer exists ([`InvariantViolation::UnknownFlow`]). Completing a
+    /// flow with visibly more than a rounding residue pending is
+    /// [`InvariantViolation::IncompleteFlow`]. Because
+    /// [`FlowNetwork::next_completion`] quantizes completion instants up to
+    /// the next nanosecond, a flow may carry up to ~1 ns worth of bytes at
+    /// its final rate; the tolerance therefore scales with the rate (a
+    /// 600 GB/s NVLink flow legally holds ~600 residual bytes) with a
+    /// 64-byte floor for slow flows. Either violation is also emitted on
+    /// the observer's violation lane when one is attached.
+    pub fn complete(&mut self, id: FlowId) -> Result<FlowRecord, InvariantViolation> {
+        let Some(f) = self.flows.get(&id) else {
+            return Err(self.report_violation(InvariantViolation::UnknownFlow { id }));
+        };
         let tolerance = 64.0_f64.max(2e-9 * f.rate);
-        assert!(
-            f.remaining <= tolerance,
-            "flow {:?} completed with {} bytes remaining (tolerance {:.1} at {:.3} GB/s)",
-            id,
-            f.remaining,
-            tolerance,
-            f.rate / 1e9
-        );
+        if f.remaining > tolerance {
+            let v = InvariantViolation::IncompleteFlow {
+                id,
+                remaining: f.remaining,
+                tolerance,
+            };
+            return Err(self.report_violation(v));
+        }
+        let f = self.flows.remove(&id).expect("flow checked present above");
+        self.classes = None;
         self.recompute_rates();
-        FlowRecord {
+        Ok(FlowRecord {
             bytes: f.total,
             started: f.started,
             finished: self.now,
             path: f.path,
             user: f.user,
+        })
+    }
+
+    fn report_violation(&self, v: InvariantViolation) -> InvariantViolation {
+        if let Some(obs) = &self.obs {
+            obs.violation("flow-network", &v.to_string(), self.now.as_nanos());
         }
+        v
     }
 
     /// Cancels a flow without asserting completion (e.g. aborted prefetch),
     /// returning the bytes actually moved.
     pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
         let f = self.flows.remove(&id)?;
+        self.classes = None;
         self.recompute_rates();
         Some(f.total - f.remaining)
     }
 
+    /// Deterministic counters for the priority-partition cache (see
+    /// [`FlowSetStats`]).
+    pub fn flow_set_stats(&self) -> FlowSetStats {
+        FlowSetStats {
+            rebuilds: self.partition_rebuilds,
+            reuses: self.partition_reuses,
+        }
+    }
+
     /// Re-solves rates: strict priority between classes, max-min water
     /// filling inside each class.
+    ///
+    /// The priority-sorted partition of flows into classes is cached across
+    /// solves: rate recomputations triggered by capacity changes or
+    /// block/unblock toggles (the common case inside fault windows) reuse
+    /// it, and only membership changes (start/complete/cancel) pay the
+    /// re-sort. Blocked flows stay in the cached partition and are filtered
+    /// here, at allocation time, so blocking never invalidates.
     fn recompute_rates(&mut self) {
         let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
 
-        // Gather distinct priorities, highest first. Blocked (stalled)
-        // flows take no part in the allocation.
-        let mut prios: Vec<Priority> = self
-            .flows
-            .values()
-            .filter(|f| !f.blocked)
-            .map(|f| f.priority)
-            .collect();
-        prios.sort_unstable_by(|a, b| b.cmp(a));
-        prios.dedup();
+        if self.classes.is_none() {
+            let mut prios: Vec<Priority> = self.flows.values().map(|f| f.priority).collect();
+            prios.sort_unstable_by(|a, b| b.cmp(a));
+            prios.dedup();
+            let classes = prios
+                .into_iter()
+                .map(|p| {
+                    let members: Vec<FlowId> = self
+                        .flows
+                        .iter()
+                        .filter(|(_, f)| f.priority == p)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    (p, members)
+                })
+                .collect();
+            self.classes = Some(classes);
+            self.partition_rebuilds += 1;
+            if let Some(obs) = &self.obs {
+                obs.counter_add("flow.partition_rebuild", 1.0);
+            }
+        } else {
+            self.partition_reuses += 1;
+            if let Some(obs) = &self.obs {
+                obs.counter_add("flow.partition_reuse", 1.0);
+            }
+        }
 
         for f in self.flows.values_mut() {
             f.rate = 0.0;
         }
 
-        for prio in prios {
-            let ids: Vec<FlowId> = self
-                .flows
+        let classes = self.classes.take().expect("partition built above");
+        for (_, members) in &classes {
+            // Blocked (stalled) flows take no part in the allocation.
+            let ids: Vec<FlowId> = members
                 .iter()
-                .filter(|(_, f)| f.priority == prio && !f.blocked)
-                .map(|(&id, _)| id)
+                .copied()
+                .filter(|id| !self.flows[id].blocked)
                 .collect();
+            if ids.is_empty() {
+                continue;
+            }
             let rates = water_fill(&ids, &self.flows, &residual);
             for (id, rate) in ids.iter().zip(rates.iter()) {
                 let f = self.flows.get_mut(id).expect("flow vanished");
@@ -519,6 +597,7 @@ impl FlowNetwork {
                 }
             }
         }
+        self.classes = Some(classes);
 
         if self.strict {
             self.assert_valid();
@@ -624,7 +703,7 @@ mod tests {
         assert_eq!(id, a);
         assert_eq!(t, SimTime::from_secs(1));
         net.advance_to(t);
-        net.complete(a);
+        net.complete(a).unwrap();
         // `b` has 5 GB left and now gets the whole 10 GB/s: +0.5s.
         let (t2, _) = net.next_completion().unwrap();
         assert_eq!(t2, SimTime::from_millis(1500));
@@ -669,7 +748,7 @@ mod tests {
         let (t, id) = net.next_completion().unwrap();
         assert_eq!(id, hi);
         net.advance_to(t);
-        net.complete(hi);
+        net.complete(hi).unwrap();
         assert!((net.rate_of(lo).unwrap() - gbps(10.0)).abs() < 1.0);
     }
 
@@ -712,7 +791,7 @@ mod tests {
         let f = net.start_flow(vec![l], gbps(16.0), 0, 42);
         let (t, _) = net.next_completion().unwrap();
         net.advance_to(t);
-        let rec = net.complete(f);
+        let rec = net.complete(f).unwrap();
         assert_eq!(rec.user, 42);
         assert!((rec.avg_gbps() - 8.0).abs() < 0.01);
         assert_eq!(rec.finished, SimTime::from_secs(2));
@@ -812,5 +891,92 @@ mod tests {
         assert_eq!(net.rate_of(lo).unwrap(), 0.0);
         let (_, id) = net.next_completion().unwrap();
         assert_ne!(id, lo);
+    }
+
+    #[test]
+    fn completing_torn_down_flow_is_typed_not_a_panic() {
+        // The watchdog-retry race: a fault window cancels a stalled flow,
+        // then the original completion for the dead id arrives. That must
+        // surface as a typed violation the executor can handle, not an
+        // unwind.
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let f = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        net.cancel(f);
+        assert_eq!(
+            net.complete(f),
+            Err(InvariantViolation::UnknownFlow { id: f })
+        );
+    }
+
+    #[test]
+    fn completing_unfinished_flow_is_typed_not_a_panic() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_link("l", gbps(10.0));
+        let f = net.start_flow(vec![l], gbps(10.0), 0, 0);
+        net.advance_to(SimTime::from_millis(500));
+        match net.complete(f) {
+            Err(InvariantViolation::IncompleteFlow { id, remaining, .. }) => {
+                assert_eq!(id, f);
+                assert!((remaining - gbps(5.0)).abs() < 1e6);
+            }
+            other => panic!("expected IncompleteFlow, got {other:?}"),
+        }
+        // The failed completion must not have removed the flow.
+        assert_eq!(net.active_flows(), 1);
+    }
+
+    #[test]
+    fn partition_cache_reused_for_capacity_and_block_changes() {
+        let mut net = FlowNetwork::new();
+        net.set_strict_validation(true);
+        let l = net.add_link("l", gbps(10.0));
+        let a = net.start_flow(vec![l], gbps(10.0), 2, 0);
+        let b = net.start_flow(vec![l], gbps(10.0), 0, 1);
+        let after_starts = net.flow_set_stats();
+        // Membership changed on each start: those solves rebuild.
+        assert_eq!(after_starts.rebuilds, 2);
+
+        // Capacity wiggles and block toggles keep membership fixed: the
+        // cached partition is reused, and rates still track exactly.
+        net.set_link_capacity(l, gbps(5.0));
+        net.set_flow_blocked(b, true);
+        assert!((net.rate_of(a).unwrap() - gbps(5.0)).abs() < 1.0);
+        net.set_flow_blocked(b, false);
+        net.set_link_capacity(l, gbps(10.0));
+        let after_wiggles = net.flow_set_stats();
+        assert_eq!(after_wiggles.rebuilds, after_starts.rebuilds);
+        assert_eq!(after_wiggles.reuses, after_starts.reuses + 4);
+
+        // Removal invalidates: the next solve re-sorts.
+        net.cancel(a);
+        assert_eq!(net.flow_set_stats().rebuilds, after_starts.rebuilds + 1);
+        assert!((net.rate_of(b).unwrap() - gbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn cached_partition_matches_fresh_solve() {
+        // Same network driven twice — once exercising the cache, once with
+        // membership churn forcing rebuilds — must allocate identically.
+        let build = |churn: bool| {
+            let mut net = FlowNetwork::new();
+            net.set_strict_validation(true);
+            let lane = net.add_link("lane", gbps(16.0));
+            let up = net.add_link("up", gbps(13.0));
+            let a = net.start_flow(vec![lane, up], gbps(50.0), 3, 0);
+            let b = net.start_flow(vec![up], gbps(50.0), 1, 1);
+            let c = net.start_flow(vec![lane], gbps(50.0), 1, 2);
+            if churn {
+                // Start+cancel a decoy to force a partition rebuild.
+                let d = net.start_flow(vec![up], gbps(1.0), 7, 9);
+                net.cancel(d);
+            }
+            net.set_link_capacity(up, gbps(9.0));
+            net.set_flow_blocked(a, true);
+            let rates = (net.rate_of(a), net.rate_of(b), net.rate_of(c));
+            net.set_flow_blocked(a, false);
+            (rates, net.rate_of(a), net.rate_of(b), net.rate_of(c))
+        };
+        assert_eq!(build(false), build(true));
     }
 }

@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use crate::SimTime;
+use crate::{FlowId, SimTime};
 
 /// A broken invariant detected by one of the strict-mode validators.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +56,35 @@ pub enum InvariantViolation {
         /// What exactly is wrong with it.
         reason: &'static str,
     },
+    /// A completion was delivered for a flow id that is not (or no longer)
+    /// in the network — typically the watchdog-retry race, where a fault
+    /// window tears a stalled flow down before its original completion
+    /// event fires.
+    UnknownFlow {
+        /// The id the completion referenced.
+        id: FlowId,
+    },
+    /// A flow was completed while visibly more than a rounding residue of
+    /// its bytes was still pending — the executor declared completion at
+    /// the wrong instant.
+    IncompleteFlow {
+        /// The offending flow.
+        id: FlowId,
+        /// Bytes still pending at the declared completion.
+        remaining: f64,
+        /// The rounding tolerance that was exceeded.
+        tolerance: f64,
+    },
+    /// The event queue yielded an event earlier than the engine clock. A
+    /// backwards clock silently corrupts every downstream interval, so
+    /// [`Engine::pop`](crate::Engine::pop) checks this in every build
+    /// profile.
+    ClockWentBackwards {
+        /// The engine clock when the event was popped.
+        now: SimTime,
+        /// The (earlier) timestamp of the popped event.
+        event: SimTime,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -87,6 +116,21 @@ impl fmt::Display for InvariantViolation {
                 f,
                 "interval set span #{index} [{:?}, {:?}) malformed: {reason}",
                 span.0, span.1
+            ),
+            InvariantViolation::UnknownFlow { id } => {
+                write!(f, "completion for unknown (torn down?) flow {id:?}")
+            }
+            InvariantViolation::IncompleteFlow {
+                id,
+                remaining,
+                tolerance,
+            } => write!(
+                f,
+                "flow {id:?} completed with {remaining} bytes remaining (tolerance {tolerance:.1})"
+            ),
+            InvariantViolation::ClockWentBackwards { now, event } => write!(
+                f,
+                "event queue went backwards: popped event at {event:?} behind clock {now:?}"
             ),
         }
     }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use mobius_sim::{Cdf, Engine, FlowNetwork, IntervalSet, SimTime};
+use mobius_sim::{Cdf, Engine, FlowNetwork, IntervalSet, ReferenceEngine, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -34,6 +34,64 @@ proptest! {
         }
     }
 
+    /// The calendar-queue engine and the reference `BinaryHeap` engine pop
+    /// byte-identical `(SimTime, seq)` streams under random schedules with
+    /// heavy timestamp ties (times are drawn from a tiny domain, so most
+    /// instants carry many tied events) and interleaved pops.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        ops in prop::collection::vec((0u64..16, 0u8..4), 1..400),
+    ) {
+        let mut cal: Engine<u32> = Engine::new();
+        let mut heap: ReferenceEngine<u32> = ReferenceEngine::new();
+        let mut cal_stream = Vec::new();
+        let mut heap_stream = Vec::new();
+        for (i, &(t, action)) in ops.iter().enumerate() {
+            // Mostly schedules with a tie-heavy time domain; every fourth
+            // action pops from both engines instead.
+            if action == 3 {
+                cal_stream.extend(cal.pop());
+                heap_stream.extend(heap.pop());
+            } else {
+                let at = SimTime::from_millis(t);
+                cal.schedule(at, i as u32);
+                heap.schedule(at, i as u32);
+            }
+        }
+        while let Some(ev) = cal.pop() {
+            cal_stream.push(ev);
+        }
+        while let Some(ev) = heap.pop() {
+            heap_stream.push(ev);
+        }
+        // The payload here is the schedule sequence number, so equality of
+        // the (time, payload) streams is equality of the (SimTime, seq)
+        // pop order, byte for byte.
+        prop_assert_eq!(cal_stream, heap_stream);
+    }
+
+    /// Same oracle under adversarially *sparse* schedules: timestamps far
+    /// enough apart to force the calendar's global-min fallback and width
+    /// recalibration, which must never reorder events.
+    #[test]
+    fn calendar_queue_matches_reference_heap_sparse(
+        times in prop::collection::vec(0u64..u64::MAX / 2, 1..100),
+    ) {
+        let mut cal: Engine<u32> = Engine::new();
+        let mut heap: ReferenceEngine<u32> = ReferenceEngine::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_nanos(t), i as u32);
+            heap.schedule(SimTime::from_nanos(t), i as u32);
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Completion times are consistent: the flow reported by
     /// `next_completion` really has (almost) nothing left at that instant.
     #[test]
@@ -50,7 +108,7 @@ proptest! {
             net.advance_to(t);
             let left = net.remaining_of(id).unwrap();
             prop_assert!(left <= 64.0, "flow still has {left} bytes");
-            net.complete(id);
+            net.complete(id).unwrap();
         }
         prop_assert_eq!(net.active_flows(), 0);
     }
@@ -67,7 +125,7 @@ proptest! {
         let mut lo_done = None;
         while let Some((t, id)) = net.next_completion() {
             net.advance_to(t);
-            net.complete(id);
+            net.complete(id).unwrap();
             if id == hi {
                 hi_done = Some(t);
             } else if id == lo {

@@ -207,7 +207,10 @@ pub fn simulate_cluster_zero_step(
                 if ev_time.is_none_or(|te| tf <= te) {
                     net.net_mut().advance_to(tf);
                     engine.advance_to(tf);
-                    let rec = net.net_mut().complete(fid);
+                    let rec = net
+                        .net_mut()
+                        .complete(fid)
+                        .expect("completion instant came from next_completion");
                     let (from, blocks) = flows.remove(&fid).expect("untracked NIC flow");
                     per_server_tx[from] += rec.bytes;
                     let kind = if blocks {

@@ -339,7 +339,11 @@ impl ZeroExec<'_> {
     }
 
     fn complete_flow(&mut self, fid: FlowId) {
-        let rec = self.server.net_mut().complete(fid);
+        let rec = self
+            .server
+            .net_mut()
+            .complete(fid)
+            .expect("completion instant came from next_completion");
         let (gpu, kind, traced, blocks) = self
             .flows
             .remove(&fid)

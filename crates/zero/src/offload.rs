@@ -116,7 +116,10 @@ pub fn simulate_zero_offload_step_traced(
             (Some((tf, fid)), ev_time) if ev_time.is_none_or(|te| tf <= te) => {
                 server.net_mut().advance_to(tf);
                 engine.advance_to(tf);
-                let rec = server.net_mut().complete(fid);
+                let rec = server
+                    .net_mut()
+                    .complete(fid)
+                    .expect("completion instant came from next_completion");
                 let (kind, g) = flows.remove(&fid).expect("flow metadata");
                 trace.record_flow(&rec, kind, &[g]);
                 if kind == CommKind::StageUpload {

@@ -54,4 +54,31 @@ cmp "$tmpdir/c.json" "$tmpdir/d.json" || {
   exit 1
 }
 
+echo "==> solver-perf determinism gate (two seeded runs, byte-identical JSON)"
+cargo run --release -q -p mobius-bench --bin solver_perf -- \
+  --deterministic --seed 42 --json "$tmpdir/e.json" >/dev/null 2>&1
+cargo run --release -q -p mobius-bench --bin solver_perf -- \
+  --deterministic --seed 42 --json "$tmpdir/f.json" >/dev/null 2>&1
+cmp "$tmpdir/e.json" "$tmpdir/f.json" || {
+  echo "FAIL: identically seeded solver-perf runs diverged" >&2
+  exit 1
+}
+
+if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
+  echo "==> regenerating BENCH_solver.json (UPDATE_BASELINE=1)"
+  cargo run --release -q -p mobius-bench --bin solver_perf -- \
+    --quick --seed 42 --json BENCH_solver.json >/dev/null
+fi
+
+echo "==> solver-perf baseline gate (counter diff vs BENCH_solver.json)"
+# Direction-aware: work counters (B&B nodes, partition rebuilds) may only
+# shrink, reuse counters may only grow, checksums must match exactly. The
+# delta table is printed either way; regressions fail the build. Regenerate
+# the committed baseline with UPDATE_BASELINE=1 after intentional changes.
+cargo run --release -q -p mobius-bench --bin solver_perf -- \
+  --check BENCH_solver.json --seed 42 || {
+  echo "FAIL: solver counters regressed vs BENCH_solver.json" >&2
+  exit 1
+}
+
 echo "==> verify OK"

@@ -74,7 +74,7 @@ proptest! {
         let mut drained = 0.0;
         while let Some((t, id)) = net.next_completion() {
             net.advance_to(t);
-            drained += net.complete(id).bytes;
+            drained += net.complete(id).unwrap().bytes;
         }
         prop_assert!((drained - total).abs() < 1.0);
         prop_assert_eq!(net.active_flows(), 0);
