@@ -1,0 +1,27 @@
+//! Regenerates the attribution extension table (critical-path blame and
+//! what-if bounds per system). Pass `--quick` for a reduced run, `--seed N`
+//! for CLI uniformity with the other extensions (nothing here draws
+//! randomness), and `--json <path>` to also write the result as a JSON
+//! report.
+//!
+//! Deterministic: two runs produce byte-identical JSON (the determinism
+//! gate of `scripts/verify.sh`).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = match args.iter().position(|a| a == "--seed") {
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(s) => s,
+            None => {
+                eprintln!("error: flag `--seed` expects an integer");
+                std::process::exit(2);
+            }
+        },
+        None => 42,
+    };
+    let experiments = mobius_bench::experiments::attribution::run(quick, seed);
+    if let Err(msg) = mobius_bench::emit(&experiments) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

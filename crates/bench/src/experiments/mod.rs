@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod attribution;
 pub mod baselines;
 pub mod fig02;
 pub mod fig04;
@@ -54,5 +55,6 @@ pub fn run_all(quick: bool) -> Vec<Experiment> {
     // see the module docs of `resilience` and `scaling`.
     all.extend(resilience::run(quick, 42));
     all.extend(scaling::run(quick, 42));
+    all.extend(attribution::run(quick, 42));
     all
 }

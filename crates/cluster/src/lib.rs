@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use mobius_obs::{AttrValue, Lane, Obs};
+use mobius_obs::{AttrValue, DagDep, Lane, Obs, ResourceId};
 use mobius_sim::{CommKind, SimTime, TraceRecorder};
 use mobius_topology::{Cluster, ClusterNetwork};
 use serde::Serialize;
@@ -52,6 +52,11 @@ pub struct ReplicaTiming {
     pub bucket_bytes: Vec<f64>,
     /// When each bucket's gradients reached DRAM on this replica.
     pub ready: Vec<SimTime>,
+    /// Dependency-DAG node ids (in the caller's [`Obs`]) of each bucket's
+    /// gradient flush, when the producing pipeline was instrumented. Either
+    /// empty (no instrumentation) or one entry per bucket; `None` entries
+    /// fall back to an uninstrumented mirror node on the server's lane.
+    pub ready_sids: Vec<Option<u64>>,
 }
 
 impl ReplicaTiming {
@@ -66,9 +71,21 @@ impl ReplicaTiming {
     /// gradient is the same, so a single aligned bucket keeps the ring
     /// well-defined at the cost of backward overlap for that step.
     pub fn collapsed(&self) -> ReplicaTiming {
+        let ready = self.ready.iter().copied().max().unwrap_or(SimTime::ZERO);
+        // The collapsed bucket is ready when its latest constituent is, so
+        // it inherits that bucket's flush node (first on ties).
+        let ready_sids = if self.ready_sids.len() == self.ready.len() {
+            match self.ready.iter().position(|&t| t == ready) {
+                Some(i) => vec![self.ready_sids[i]],
+                None => vec![None],
+            }
+        } else {
+            Vec::new()
+        };
         ReplicaTiming {
             bucket_bytes: vec![self.total_bytes()],
-            ready: vec![self.ready.iter().copied().max().unwrap_or(SimTime::ZERO)],
+            ready: vec![ready],
+            ready_sids,
         }
     }
 }
@@ -96,6 +113,10 @@ pub struct ClusterSyncReport {
     pub per_server_rx: Vec<f64>,
     /// Bandwidth samples and traffic counters for the fabric flows.
     pub trace: TraceRecorder,
+    /// Dependency-DAG node id (in the caller's [`Obs`]) of the final ring
+    /// barrier — it ends exactly at `sync_done`, so a cluster step whose
+    /// boundary is the synchronization can use it as the step head.
+    pub head_sid: Option<u64>,
 }
 
 /// Why a synchronization could not run.
@@ -175,6 +196,7 @@ impl Error for ClusterSyncError {}
 /// let replica = ReplicaTiming {
 ///     bucket_bytes: vec![1e9, 1e9],
 ///     ready: vec![SimTime::from_millis(10), SimTime::from_millis(30)],
+///     ready_sids: vec![],
 /// };
 /// let rep = simulate_ring_allreduce(
 ///     &cluster,
@@ -203,7 +225,10 @@ pub fn simulate_ring_allreduce(
         });
     }
     for (s, r) in replicas.iter().enumerate() {
-        if r.bucket_bytes != replicas[0].bucket_bytes || r.ready.len() != r.bucket_bytes.len() {
+        if r.bucket_bytes != replicas[0].bucket_bytes
+            || r.ready.len() != r.bucket_bytes.len()
+            || !(r.ready_sids.is_empty() || r.ready_sids.len() == r.bucket_bytes.len())
+        {
             return Err(ClusterSyncError::BucketMismatch { server: s });
         }
     }
@@ -213,20 +238,42 @@ pub fn simulate_ring_allreduce(
         net.net_mut().set_strict_validation(true);
     }
     let mut trace = TraceRecorder::new();
+    // Labels and base capacities are supplied unconditionally so bottleneck
+    // attribution works even on strict-but-untraced runs.
+    trace.set_link_labels(net.net().link_labels());
+    let caps: Vec<f64> = net
+        .net()
+        .link_ids()
+        .into_iter()
+        .map(|l| net.net().link_capacity(l))
+        .collect();
+    trace.set_link_capacities(caps);
     if let Some(obs) = obs {
         trace.set_obs(obs.clone());
-        trace.set_link_labels(net.net().link_labels());
         net.net_mut().set_obs(obs.clone());
     }
+    // The dependency DAG goes to the caller's recorder when one is attached
+    // (so ready_sids resolve and the finetuner can verify the whole step);
+    // strict runs without an observer get a private ring-only DAG whose
+    // critical-path identity is verified before returning.
+    let dag_public = obs.is_some();
+    let dag_obs = match obs {
+        Some(o) => Some(o.clone()),
+        None if cfg.strict_validation => Some(Obs::new()),
+        None => None,
+    };
 
     let buckets = replicas[0].bucket_bytes.len();
     let mut per_server_tx = vec![0.0; n];
     let mut per_server_rx = vec![0.0; n];
     let mut bucket_done = Vec::with_capacity(buckets);
     let mut now = SimTime::ZERO;
-    // Flow id → (source server, destination server).
+    // Flow id → (source server, destination server, DAG node).
     // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
-    let mut in_flight: HashMap<mobius_sim::FlowId, (usize, usize)> = HashMap::new();
+    let mut in_flight: HashMap<mobius_sim::FlowId, (usize, usize, Option<u64>)> = HashMap::new();
+    // The DAG node every subsequent ring event chains after: the previous
+    // bucket's (or round's) zero-width barrier.
+    let mut prev_barrier: Option<u64> = None;
 
     for b in 0..buckets {
         let bytes = replicas[0].bucket_bytes[b];
@@ -236,6 +283,49 @@ pub fn simulate_ring_allreduce(
             .max()
             .unwrap_or(SimTime::ZERO);
         let start = now.max(ready);
+        // Zero-width bucket barrier: starts (and ends) at `start`, after the
+        // previous barrier and after every replica's bucket flush. Emitted
+        // even for empty buckets so the single-channel ordering stays in the
+        // DAG. Exactness: start == max(prev ring time, max replica ready),
+        // which is exactly the max over the AfterEnd constraints.
+        if let Some(dag) = &dag_obs {
+            let mut deps = Vec::new();
+            if let Some(p) = prev_barrier {
+                deps.push(DagDep::after_end(p, 0, "ring-order"));
+            }
+            for (s, r) in replicas.iter().enumerate() {
+                let flush = if dag_public {
+                    r.ready_sids.get(b).copied().flatten()
+                } else {
+                    // A private ring-only DAG cannot reference the caller's
+                    // pipeline nodes.
+                    None
+                };
+                let pred = flush.unwrap_or_else(|| {
+                    // Mirror of an uninstrumented replica: it produced this
+                    // bucket's gradients over [0, ready] on its own server.
+                    let m = dag.dag_open(
+                        "mirror",
+                        format!("produce b{b}"),
+                        ResourceId::Server(s),
+                        0,
+                        vec![],
+                    );
+                    dag.dag_close(m, r.ready[b].as_nanos());
+                    m
+                });
+                deps.push(DagDep::after_end(pred, 0, "bucket-ready"));
+            }
+            let sid = dag.dag_open(
+                "barrier",
+                format!("ring b{b} start"),
+                ResourceId::Barrier(format!("ring-b{b}")),
+                start.as_nanos(),
+                deps,
+            );
+            dag.dag_close(sid, start.as_nanos());
+            prev_barrier = Some(sid);
+        }
         if bytes <= 0.0 {
             now = start;
             bucket_done.push(now);
@@ -246,14 +336,32 @@ pub fn simulate_ring_allreduce(
         let chunk = bytes / n as f64;
         // (n−1) reduce-scatter rounds then (n−1) all-gather rounds; both
         // move one chunk per server per round around the ring.
-        for _round in 0..2 * (n - 1) {
+        for round in 0..2 * (n - 1) {
+            let mut round_sids: Vec<u64> = Vec::new();
             for s in 0..n {
                 let to = (s + 1) % n;
                 let path = net
                     .server_to_server(s, to)
                     .expect("ring neighbours are distinct");
+                // Each round's chunks launch the instant the previous
+                // barrier resolves, so the AfterEnd constraint is tight.
+                let fsid = dag_obs.as_ref().map(|dag| {
+                    let deps = prev_barrier
+                        .map(|p| vec![DagDep::after_end(p, 0, "ring-round")])
+                        .unwrap_or_default();
+                    let label = trace.bottleneck_label(&path).unwrap_or("unknown");
+                    let sid = dag.dag_open(
+                        "flow",
+                        format!("grad-reduce b{b} r{round} s{s}"),
+                        ResourceId::Link(label.to_string()),
+                        now.as_nanos(),
+                        deps,
+                    );
+                    round_sids.push(sid);
+                    sid
+                });
                 let fid = net.net_mut().start_flow(path, chunk, SYNC_PRIO, s as u64);
-                in_flight.insert(fid, (s, to));
+                in_flight.insert(fid, (s, to, fsid));
             }
             while !in_flight.is_empty() {
                 let (t, fid) = net
@@ -266,10 +374,30 @@ pub fn simulate_ring_allreduce(
                     .net_mut()
                     .complete(fid)
                     .expect("completion instant came from next_completion");
-                let (src, dst) = in_flight.remove(&fid).expect("untracked ring flow");
+                let (src, dst, fsid) = in_flight.remove(&fid).expect("untracked ring flow");
                 per_server_tx[src] += rec.bytes;
                 per_server_rx[dst] += rec.bytes;
+                if let (Some(dag), Some(fs)) = (&dag_obs, fsid) {
+                    dag.dag_close(fs, t.as_nanos());
+                }
                 trace.record_flow(&rec, CommKind::GradientReduce, &[]);
+            }
+            // Zero-width round barrier at the drain instant: the ring's next
+            // round cannot launch until every chunk of this one landed.
+            if let Some(dag) = &dag_obs {
+                let deps = round_sids
+                    .iter()
+                    .map(|&f| DagDep::after_end(f, 0, "ring-drain"))
+                    .collect();
+                let sid = dag.dag_open(
+                    "barrier",
+                    format!("ring b{b} r{round}"),
+                    ResourceId::Barrier(format!("ring-b{b}-r{round}")),
+                    now.as_nanos(),
+                    deps,
+                );
+                dag.dag_close(sid, now.as_nanos());
+                prev_barrier = Some(sid);
             }
         }
         bucket_done.push(now);
@@ -291,12 +419,28 @@ pub fn simulate_ring_allreduce(
         }
     }
 
+    // On a strict run without an observer, verify the private ring-only
+    // DAG's critical-path identity here: the final barrier ends exactly at
+    // sync_done, and every backward chain must tile [0, sync_done] through
+    // flows, barriers, and mirror nodes with no gap. (With an observer the
+    // finetuner verifies the combined pipeline+ring DAG at the step
+    // boundary instead.)
+    if cfg.strict_validation && !dag_public {
+        if let (Some(dag), Some(head)) = (&dag_obs, prev_barrier) {
+            dag.dag_cluster_boundary(now.as_nanos(), head);
+            if let Err(e) = dag.verify_dag_identity() {
+                panic!("ring critical-path identity violated: {e}");
+            }
+        }
+    }
+
     let report = ClusterSyncReport {
         sync_done: now,
         bucket_done,
         per_server_tx,
         per_server_rx,
         trace,
+        head_sid: if dag_public { prev_barrier } else { None },
     };
     if cfg.strict_validation {
         let total: f64 = replicas[0].total_bytes();
@@ -323,6 +467,7 @@ mod tests {
         ReplicaTiming {
             bucket_bytes: buckets.to_vec(),
             ready: ready_ms.iter().map(|&m| SimTime::from_millis(m)).collect(),
+            ready_sids: vec![],
         }
     }
 
@@ -424,6 +569,51 @@ mod tests {
         let err = verify_ring_identity(&rep, 4, 1e9).unwrap_err();
         assert_eq!(err.server, 2);
         assert!(err.measured < err.expected);
+    }
+
+    #[test]
+    fn observed_ring_records_a_dag_with_a_head_barrier() {
+        let obs = Obs::new();
+        let r = replica(&[1e9, 1e9], &[0, 10]);
+        let rep = simulate_ring_allreduce(&cluster(2), &vec![r; 2], &strict(), Some(&obs)).unwrap();
+        let head = rep.head_sid.expect("observed runs return a head sid");
+        obs.with_dag(|d| {
+            let h = d.node(head).expect("head sid resolves");
+            assert_eq!(h.cat, "barrier");
+            assert_eq!(h.end_ns, Some(rep.sync_done.as_nanos()));
+            // Replicas without ready_sids are mirrored on their server lane;
+            // every chunk became a flow node on its bottleneck NIC link.
+            assert!(d.nodes().iter().any(|n| n.cat == "mirror"));
+            assert!(d.nodes().iter().any(|n| n.cat == "flow"
+                && matches!(&n.resource, ResourceId::Link(l) if l.contains("nic"))));
+            // The caller owns the step boundary; the ring never marks one
+            // on a shared recorder.
+            assert!(d.cluster_boundaries().is_empty());
+        });
+    }
+
+    #[test]
+    fn strict_untraced_ring_verifies_its_private_dag() {
+        // No observer + strict: the ring builds a private DAG (mirrors for
+        // every replica) and verifies the critical-path identity itself.
+        // Straggler ready times make the bucket barriers non-trivial.
+        let fast = replica(&[1e9, 1e9], &[0, 10]);
+        let slow = replica(&[1e9, 1e9], &[5, 400]);
+        let rep =
+            simulate_ring_allreduce(&cluster(3), &[fast.clone(), fast, slow], &strict(), None)
+                .unwrap();
+        // Private node ids must never leak into the report.
+        assert_eq!(rep.head_sid, None);
+    }
+
+    #[test]
+    fn mismatched_ready_sids_are_rejected() {
+        let mut r = replica(&[1e9, 1e9], &[0, 0]);
+        r.ready_sids = vec![None]; // 1 sid for 2 buckets
+        assert_eq!(
+            simulate_ring_allreduce(&cluster(2), &[r.clone(), r], &strict(), None).unwrap_err(),
+            ClusterSyncError::BucketMismatch { server: 0 }
+        );
     }
 
     #[test]

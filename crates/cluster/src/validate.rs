@@ -103,6 +103,7 @@ mod tests {
             per_server_tx: tx,
             per_server_rx: rx,
             trace: TraceRecorder::new(),
+            head_sid: None,
         }
     }
 

@@ -84,18 +84,22 @@ const USAGE: &str = "\
 usage:
   mobius-cli plan    --model <3b|8b|15b|51b|llama7b|llama13b> --topo <GROUPS|dc> [--mbs N] [--microbatches M]
   mobius-cli step    --model <..> --topo <..> --system <mobius|gpipe|ds-pipe|ds-hetero|zero-offload>
-                     [--trace-out FILE] [--metrics-out FILE] [--timeline]
+                     [--trace-out FILE] [--metrics-out FILE] [--analyze-out FILE] [--timeline]
                      [--faults SPEC] [--seed N] [--recover]
   mobius-cli report  --model <..> --topo <..> --system <..>
   mobius-cli compare --model <..> --topo <..>
   mobius-cli cluster --model <..> --topo <..> --servers N [--nic-gbps G] [--switch-gbps S]
-                     [--system <mobius|ds-hetero>] [--trace-out FILE]
+                     [--system <mobius|ds-hetero>] [--trace-out FILE] [--analyze-out FILE]
+  mobius-cli analyze --trace-in FILE [--analyze-out FILE]
 topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
 cluster scales the server out N ways: Mobius runs one pipeline replica per
   server with a ring all-reduce over the NICs; ds-hetero shards ZeRO-3
   across every GPU of every server
+analyze re-reads a recorded trace's dependency DAG (the mobiusDag key) and
+  prints the per-step critical path, per-resource blame, and what-if bounds
 add --strict to re-check every schedule and trace against the paper's constraints
 --trace-out writes a Chrome trace-event JSON (open in Perfetto or chrome://tracing)
+--analyze-out prints the attribution table and writes it as deterministic JSON
 --faults injects a deterministic fault schedule; SPEC is comma-separated
   clauses (times in ms): degrade:<link>:<factor>:<t0>:<t1>  slow:<gpu>:<factor>:<t0>:<t1>
   stall:<t>:<dur>  gpufail:<gpu>:<t>  random:<n>   (--seed resolves random:<n>)
@@ -110,7 +114,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--microbatches",
     "--system",
     "--trace-out",
+    "--trace-in",
     "--metrics-out",
+    "--analyze-out",
     "--faults",
     "--seed",
     "--servers",
@@ -188,7 +194,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 timeline,
                 flag(args, "--trace-out").as_deref(),
                 flag(args, "--metrics-out").as_deref(),
+                flag(args, "--analyze-out").as_deref(),
             )
+        }
+        "analyze" => {
+            let path =
+                flag(args, "--trace-in").ok_or_else(|| usage("analyze needs --trace-in FILE"))?;
+            analyze_trace(&path, flag(args, "--analyze-out").as_deref())
         }
         "report" => {
             let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
@@ -222,6 +234,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             cluster_step(
                 tuner.system(system).cluster(cfg),
                 flag(args, "--trace-out").as_deref(),
+                flag(args, "--analyze-out").as_deref(),
             )
         }
         other => Err(usage(format!("unknown command `{other}`"))),
@@ -313,9 +326,10 @@ fn step(
     timeline: bool,
     trace_out: Option<&str>,
     metrics_out: Option<&str>,
+    analyze_out: Option<&str>,
 ) -> Result<(), CliError> {
     let obs = Obs::new();
-    let tuner = if trace_out.is_some() || metrics_out.is_some() {
+    let tuner = if trace_out.is_some() || metrics_out.is_some() || analyze_out.is_some() {
         tuner.observe(obs.clone())
     } else {
         tuner
@@ -362,12 +376,19 @@ fn step(
             .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
         println!("wrote metrics to {path}");
     }
+    if let Some(path) = analyze_out {
+        write_analysis(&obs, path)?;
+    }
     Ok(())
 }
 
-fn cluster_step(tuner: FineTuner, trace_out: Option<&str>) -> Result<(), CliError> {
+fn cluster_step(
+    tuner: FineTuner,
+    trace_out: Option<&str>,
+    analyze_out: Option<&str>,
+) -> Result<(), CliError> {
     let obs = Obs::new();
-    let tuner = if trace_out.is_some() {
+    let tuner = if trace_out.is_some() || analyze_out.is_some() {
         tuner.observe(obs.clone())
     } else {
         tuner
@@ -408,6 +429,48 @@ fn cluster_step(tuner: FineTuner, trace_out: Option<&str>) -> Result<(), CliErro
         std::fs::write(path, obs.chrome_trace_json())
             .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
         println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = analyze_out {
+        write_analysis(&obs, path)?;
+    }
+    Ok(())
+}
+
+/// Prints the attribution table for this run's dependency DAG and writes
+/// the analysis as deterministic JSON.
+fn write_analysis(obs: &Obs, path: &str) -> Result<(), CliError> {
+    let analysis = obs
+        .analyze()
+        .map_err(|e| CliError::Other(format!("attribution analysis failed: {e}")))?;
+    print!("{}", analysis.render_table());
+    std::fs::write(path, analysis.to_json())
+        .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?;
+    println!("wrote attribution JSON to {path}");
+    Ok(())
+}
+
+/// Re-analyzes a recorded Chrome trace: reads the embedded `mobiusDag`
+/// dependency DAG back and recomputes critical path, blame, and what-if
+/// bounds without re-simulating.
+fn analyze_trace(path: &str, out: Option<&str>) -> Result<(), CliError> {
+    use mobius::obs::{analyze, json, DagLog};
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    let doc = json::parse(&text).map_err(|e| CliError::Other(format!("{path}: bad JSON: {e}")))?;
+    let dag_v = doc.get("mobiusDag").ok_or_else(|| {
+        CliError::Other(format!(
+            "{path}: no mobiusDag key — record the trace with --trace-out on an observed run"
+        ))
+    })?;
+    let dag =
+        DagLog::from_json_value(dag_v).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let analysis = analyze::analyze(&dag)
+        .map_err(|e| CliError::Other(format!("attribution analysis failed: {e}")))?;
+    print!("{}", analysis.render_table());
+    if let Some(p) = out {
+        std::fs::write(p, analysis.to_json())
+            .map_err(|e| CliError::Other(format!("writing {p}: {e}")))?;
+        println!("wrote attribution JSON to {p}");
     }
     Ok(())
 }
@@ -548,8 +611,59 @@ mod tests {
             "--seed",
             "7",
             "--recover",
+            "--analyze-out",
+            "/tmp/a.json",
         ]))
         .is_ok());
+        assert!(validate_flags(&argv(&[
+            "analyze",
+            "--trace-in",
+            "/tmp/t.json",
+            "--analyze-out",
+            "/tmp/a.json",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn analyze_requires_a_trace() {
+        let err = run(&argv(&["analyze"])).unwrap_err();
+        assert!(err.to_string().contains("--trace-in"), "{err}");
+        let err = run(&argv(&["analyze", "--trace-in", "/nonexistent/x.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Other(_)), "{err}");
+    }
+
+    #[test]
+    fn analyze_round_trips_a_recorded_trace() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("mobius-cli-analyze-rt-trace.json");
+        let attr = dir.join("mobius-cli-analyze-rt-attr.json");
+        let trace_s = trace.to_str().unwrap().to_string();
+        let attr_s = attr.to_str().unwrap().to_string();
+        run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--system",
+            "gpipe",
+            "--strict",
+            "--trace-out",
+            &trace_s,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "analyze",
+            "--trace-in",
+            &trace_s,
+            "--analyze-out",
+            &attr_s,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&attr).unwrap();
+        assert!(json.contains("criticalPath"), "{json}");
+        assert!(json.contains("whatifTotalNs"), "{json}");
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(attr);
     }
 
     #[test]

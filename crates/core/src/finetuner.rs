@@ -630,9 +630,11 @@ impl FineTuner {
                     let mut rep = self.report(sim.step_time, sim.drain_time, sim.trace, model_size);
                     rep.faults = carried;
                     if let Some(cluster) = self.active_cluster() {
+                        let step_head = sim.step_head;
                         let timing = ReplicaTiming {
                             bucket_bytes: sim.stage_grads,
                             ready: sim.grad_flush,
+                            ready_sids: sim.grad_flush_sids,
                         };
                         // Only a GPU loss desynchronizes this replica from
                         // the rest of the cluster; planning degradations
@@ -641,7 +643,7 @@ impl FineTuner {
                             .iter()
                             .any(|d| matches!(d.action, DegradeAction::ElasticReplan { .. }));
                         self.attach_cluster_sync(
-                            &mut rep, &cluster, timing, local_step, replanned,
+                            &mut rep, &cluster, timing, local_step, step_head, replanned,
                         )?;
                     }
                     rep.degradations = degradations;
@@ -709,13 +711,14 @@ impl FineTuner {
                             let timing = ReplicaTiming {
                                 bucket_bytes: vec![grad],
                                 ready: vec![rep.step_time],
+                                ready_sids: vec![None],
                             };
                             let replanned = degradations
                                 .iter()
                                 .any(|d| matches!(d.action, DegradeAction::ElasticReplan { .. }));
                             let local_step = rep.step_time;
                             self.attach_cluster_sync(
-                                &mut rep, &cluster, timing, local_step, replanned,
+                                &mut rep, &cluster, timing, local_step, None, replanned,
                             )?;
                         }
                         rep.degradations = degradations;
@@ -751,6 +754,7 @@ impl FineTuner {
         match simulate_steps_faulted(stages, mapping, topo, cfg, 1, faults, self.obs.as_ref()) {
             Ok(mut multi) => {
                 let grad_flush = std::mem::take(&mut multi.grad_flush[0]);
+                let grad_flush_sids = std::mem::take(&mut multi.grad_flush_sids[0]);
                 Ok(MobiusSim {
                     step_time: multi.step_boundaries[0],
                     drain_time: multi.drain_time,
@@ -758,6 +762,8 @@ impl FineTuner {
                     faults: multi.faults,
                     grad_flush,
                     stage_grads,
+                    step_head: multi.step_heads[0],
+                    grad_flush_sids,
                 })
             }
             Err(ExecError::Schedule(e)) => Err(AttemptError::Run(e.into())),
@@ -780,14 +786,18 @@ impl FineTuner {
         cluster: &Cluster,
         this: ReplicaTiming,
         local_step: SimTime,
+        local_head: Option<u64>,
         degraded: bool,
     ) -> Result<(), RunError> {
         let n = cluster.num_servers();
         let (replicas, local_steps) = if degraded {
             let healthy = self.healthy_shadow()?;
+            // The shadow ran unobserved, so its flush nodes do not exist in
+            // this server's DAG: the ring mirrors the healthy replicas.
             let healthy_timing = ReplicaTiming {
                 bucket_bytes: healthy.stage_grads,
                 ready: healthy.grad_flush,
+                ready_sids: Vec::new(),
             }
             .collapsed();
             let mut replicas = vec![healthy_timing; n];
@@ -824,6 +834,31 @@ impl FineTuner {
             .max()
             .unwrap_or(local_step)
             .max(sync.sync_done);
+        // Commit the synchronized boundary to the dependency DAG (it
+        // supersedes the pipeline's local boundary): the head must be a
+        // node ending exactly at the cluster step time — the final ring
+        // barrier when synchronization binds, this replica's own step head
+        // when its backward pass does. An unobserved healthy replica can
+        // also bind (degraded mode); no node ends there, so no cluster
+        // boundary is committed and the locally verified windows stand.
+        if let Some(obs) = &self.obs {
+            let head = if step == sync.sync_done {
+                sync.head_sid
+            } else if step == local_step {
+                local_head
+            } else {
+                None
+            };
+            if let Some(h) = head {
+                obs.dag_cluster_boundary(step.as_nanos(), h);
+                if self.strict_validation {
+                    if let Err(e) = obs.verify_dag_identity() {
+                        obs.violation("critical-path-identity", &e.to_string(), step.as_nanos());
+                        panic!("cluster critical-path identity violated: {e}");
+                    }
+                }
+            }
+        }
         rep.step_time = step;
         rep.drain_time = rep.drain_time.max(step);
         rep.price_usd = pricing::step_price_usd(&self.topo, step) * n as f64;
@@ -1024,6 +1059,12 @@ struct MobiusSim {
     /// Empty on paths that never reach the cluster sync (GPipe/DeepSpeed
     /// pipeline).
     stage_grads: Vec<f64>,
+    /// Dependency-DAG node whose end is the local step boundary (`None`
+    /// without an attached observer).
+    step_head: Option<u64>,
+    /// Per stage, the DAG node of the gradient flush — the cluster ring's
+    /// bucket-ready nodes (`None`s without an observer).
+    grad_flush_sids: Vec<Option<u64>>,
 }
 
 impl From<mobius_pipeline::SimStepReport> for MobiusSim {
@@ -1035,6 +1076,8 @@ impl From<mobius_pipeline::SimStepReport> for MobiusSim {
             faults: sim.faults,
             grad_flush: sim.grad_flush,
             stage_grads: Vec::new(),
+            step_head: sim.step_head,
+            grad_flush_sids: sim.grad_flush_sids,
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::dag::DagLog;
 use crate::json;
 use crate::span::{AttrValue, EventLog, Lane};
 
@@ -46,8 +47,10 @@ fn meta(pid: u32, tid: u32, which: &str, name: &str) -> String {
     ])
 }
 
-/// Renders the whole log as a Chrome trace JSON document.
-pub fn export(log: &EventLog) -> String {
+/// Renders the whole log as a Chrome trace JSON document. When `dag` is
+/// non-empty it is embedded under a top-level `mobiusDag` key (viewers
+/// ignore unknown keys; `mobius-cli analyze --trace-in` reads it back).
+pub fn export(log: &EventLog, dag: &DagLog) -> String {
     // Assign link lanes stable thread ids in name order so output does not
     // depend on which link happened to carry the first flow.
     let mut link_tids: BTreeMap<&str, u32> = BTreeMap::new();
@@ -135,8 +138,15 @@ pub fn export(log: &EventLog) -> String {
         events.push(json::object(fields));
     }
 
+    // Dag-less traces keep their exact historical bytes: the key only
+    // appears when a dependency DAG was recorded.
+    let dag_field = if dag.is_empty() {
+        String::new()
+    } else {
+        format!(",\"mobiusDag\":{}", dag.to_json())
+    };
     format!(
-        "{{\"traceEvents\":{},\"displayTimeUnit\":\"ms\"}}",
+        "{{\"traceEvents\":{},\"displayTimeUnit\":\"ms\"{dag_field}}}",
         json::array(events)
     )
 }
@@ -184,6 +194,24 @@ mod tests {
     }
 
     #[test]
+    fn dag_is_embedded_only_when_recorded() {
+        use crate::dag::ResourceId;
+        let without = export(&sample_log(), &DagLog::new());
+        assert!(!without.contains("mobiusDag"));
+        assert!(without.ends_with("\"displayTimeUnit\":\"ms\"}"));
+
+        let mut dag = DagLog::new();
+        let sid = dag.open("compute", "fwd", ResourceId::Gpu(0), 0, vec![]);
+        dag.close(sid, 1_000);
+        dag.mark_boundary(1_000, sid);
+        let with = export(&sample_log(), &dag);
+        assert!(with.contains(",\"mobiusDag\":{\"nodes\":["));
+        assert!(with.contains("\"boundaries\":[[1000,0]]"));
+        // Everything before the dag key is unchanged.
+        assert!(with.starts_with(without.trim_end_matches('}')));
+    }
+
+    #[test]
     fn microsecond_timestamps_keep_ns_precision() {
         assert_eq!(us(1_500), "1.500");
         assert_eq!(us(0), "0.000");
@@ -192,7 +220,7 @@ mod tests {
 
     #[test]
     fn exports_complete_and_instant_events() {
-        let out = export(&sample_log());
+        let out = export(&sample_log(), &DagLog::new());
         assert!(out.starts_with("{\"traceEvents\":["));
         assert!(out.contains("\"ph\":\"X\""));
         assert!(out.contains("\"ph\":\"i\""));
@@ -203,7 +231,7 @@ mod tests {
 
     #[test]
     fn link_threads_are_sorted_by_name() {
-        let out = export(&sample_log());
+        let out = export(&sample_log(), &DagLog::new());
         // gpu0-lane-h2d sorts before rc0-h2d, so it gets tid 0.
         let lane = out.find("\"name\":\"gpu0-lane-h2d\"").unwrap();
         let rc = out.find("\"name\":\"rc0-h2d\"").unwrap();
@@ -212,7 +240,7 @@ mod tests {
 
     #[test]
     fn every_lane_kind_has_a_process() {
-        let out = export(&sample_log());
+        let out = export(&sample_log(), &DagLog::new());
         for p in ["run", "GPUs", "PCIe links", "solver"] {
             assert!(out.contains(&format!("\"args\":{{\"name\":\"{p}\"}}")));
         }
@@ -223,7 +251,7 @@ mod tests {
     fn server_lanes_get_their_own_process_only_when_present() {
         // Single-server traces must stay byte-identical: no "servers"
         // process without a Server event.
-        let out = export(&sample_log());
+        let out = export(&sample_log(), &DagLog::new());
         assert!(!out.contains("\"name\":\"servers\""));
 
         let mut log = sample_log();
@@ -235,7 +263,7 @@ mod tests {
             dur_ns: Some(100),
             attrs: vec![("bytes", AttrValue::U64(1024))],
         });
-        let out = export(&log);
+        let out = export(&log, &DagLog::new());
         assert!(out.contains("\"args\":{\"name\":\"servers\"}"));
         assert!(out.contains("\"name\":\"server2\""));
         assert!(out.contains("\"name\":\"allreduce\""));

@@ -1,0 +1,103 @@
+//! JSONL event-log export: one deterministic JSON object per line, in
+//! recording order — streaming-friendly (a consumer can tail the file and
+//! parse line by line) where the Chrome export is a single document.
+
+use crate::json;
+use crate::span::{AttrValue, EventLog, Lane};
+
+fn lane_str(lane: &Lane) -> String {
+    match lane {
+        Lane::Run => "run".to_string(),
+        Lane::Gpu(g) => format!("gpu{g}"),
+        Lane::Link(name) => format!("link:{name}"),
+        Lane::Solver => "solver".to_string(),
+        Lane::Server(s) => format!("server{s}"),
+    }
+}
+
+fn attr_json(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(x) => format!("{x}"),
+        AttrValue::I64(x) => format!("{x}"),
+        AttrValue::F64(x) => json::number(*x),
+        AttrValue::Str(s) => json::string(s),
+        AttrValue::Bool(b) => format!("{b}"),
+    }
+}
+
+/// Renders the log as JSONL: one object per event, `\n`-terminated lines.
+/// Spans carry `durNs`; instants omit it. `attrs` appears only when
+/// non-empty, mirroring the Chrome exporter's `args` behavior.
+pub fn export(log: &EventLog) -> String {
+    let mut out = String::new();
+    for e in log.events() {
+        let mut fields = vec![
+            ("lane", json::string(&lane_str(&e.lane))),
+            ("cat", json::string(e.cat)),
+            ("name", json::string(&e.name)),
+            ("startNs", format!("{}", e.start_ns)),
+        ];
+        if let Some(d) = e.dur_ns {
+            fields.push(("durNs", format!("{d}")));
+        }
+        if !e.attrs.is_empty() {
+            fields.push((
+                "attrs",
+                json::object(e.attrs.iter().map(|(k, v)| (*k, attr_json(v)))),
+            ));
+        }
+        out.push_str(&json::object(fields));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Event;
+
+    #[test]
+    fn one_line_per_event_in_recording_order() {
+        let mut log = EventLog::new();
+        log.push(Event {
+            lane: Lane::Gpu(1),
+            cat: "compute",
+            name: "fwd".into(),
+            start_ns: 5,
+            dur_ns: Some(10),
+            attrs: vec![("mb", AttrValue::U64(2))],
+        });
+        log.push(Event {
+            lane: Lane::Run,
+            cat: "pipeline",
+            name: "step-boundary".into(),
+            start_ns: 15,
+            dur_ns: None,
+            attrs: vec![],
+        });
+        let out = export(&log);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"lane":"gpu1","cat":"compute","name":"fwd","startNs":5,"durNs":10,"attrs":{"mb":2}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"lane":"run","cat":"pipeline","name":"step-boundary","startNs":15}"#
+        );
+        assert!(out.ends_with('\n'));
+        // Every line parses standalone.
+        for line in lines {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn lanes_encode_compactly() {
+        assert_eq!(lane_str(&Lane::Link("rc0-h2d".into())), "link:rc0-h2d");
+        assert_eq!(lane_str(&Lane::Server(3)), "server3");
+        assert_eq!(lane_str(&Lane::Solver), "solver");
+    }
+}

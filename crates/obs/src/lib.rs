@@ -42,13 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod chrome;
+mod dag;
 pub mod json;
+mod jsonl;
 mod metrics;
 mod report;
 mod span;
 pub mod walltime;
 
+pub use analyze::{Analysis, AnalyzeError, ResourceUsage, Segment, StepAttribution};
+pub use dag::{DagDep, DagEdge, DagLog, DagNode, ResourceClass, ResourceId};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{AttrValue, Event, EventLog, Lane};
 pub use walltime::{WallSecs, WallTimer};
@@ -62,6 +67,7 @@ pub const GBPS_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 32.0, 64.0];
 struct ObsInner {
     log: EventLog,
     metrics: MetricsRegistry,
+    dag: DagLog,
 }
 
 /// Shared handle to an event log plus a metrics registry.
@@ -95,6 +101,7 @@ impl Obs {
             inner: Rc::new(RefCell::new(ObsInner {
                 log: EventLog::new(),
                 metrics: MetricsRegistry::new(),
+                dag: DagLog::new(),
             })),
         }
     }
@@ -197,7 +204,82 @@ impl Obs {
     /// per PCIe/NVLink link, plus solver and run lanes. Load the file in
     /// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
     pub fn chrome_trace_json(&self) -> String {
-        chrome::export(&self.inner.borrow().log)
+        let inner = self.inner.borrow();
+        chrome::export(&inner.log, &inner.dag)
+    }
+
+    /// Exports the event log as JSONL: one deterministic JSON object per
+    /// line, in recording order (streaming-friendly alternative to the
+    /// Chrome document).
+    pub fn export_jsonl(&self) -> String {
+        jsonl::export(&self.inner.borrow().log)
+    }
+
+    /// Opens a dependency-DAG node occupying `resource` from `start_ns`,
+    /// constrained by `deps`; returns its sid. See [`DagLog::open`].
+    pub fn dag_open(
+        &self,
+        cat: &str,
+        name: impl Into<String>,
+        resource: ResourceId,
+        start_ns: u64,
+        deps: Vec<DagDep>,
+    ) -> u64 {
+        self.inner
+            .borrow_mut()
+            .dag
+            .open(cat, name, resource, start_ns, deps)
+    }
+
+    /// Closes DAG node `sid` at `end_ns`. See [`DagLog::close`].
+    pub fn dag_close(&self, sid: u64, end_ns: u64) {
+        self.inner.borrow_mut().dag.close(sid, end_ns);
+    }
+
+    /// Records a local step boundary ending at `t_ns` whose head node is
+    /// `head_sid`. See [`DagLog::mark_boundary`].
+    pub fn dag_boundary(&self, t_ns: u64, head_sid: u64) {
+        self.inner.borrow_mut().dag.mark_boundary(t_ns, head_sid);
+    }
+
+    /// Records a cluster-synchronized step boundary. See
+    /// [`DagLog::mark_cluster_boundary`].
+    pub fn dag_cluster_boundary(&self, t_ns: u64, head_sid: u64) {
+        self.inner
+            .borrow_mut()
+            .dag
+            .mark_cluster_boundary(t_ns, head_sid);
+    }
+
+    /// Number of recorded DAG nodes.
+    pub fn dag_len(&self) -> usize {
+        self.inner.borrow().dag.len()
+    }
+
+    /// Runs `f` with shared access to the dependency DAG.
+    pub fn with_dag<R>(&self, f: impl FnOnce(&DagLog) -> R) -> R {
+        f(&self.inner.borrow().dag)
+    }
+
+    /// Verifies the critical-path identity over the recorded DAG — every
+    /// step's reconstructed critical path must tile the step exactly. See
+    /// [`analyze::verify_identity`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`].
+    pub fn verify_dag_identity(&self) -> Result<(), AnalyzeError> {
+        analyze::verify_identity(&self.inner.borrow().dag)
+    }
+
+    /// Runs the full critical-path / blame / what-if analysis over the
+    /// recorded DAG. See [`analyze::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`].
+    pub fn analyze(&self) -> Result<Analysis, AnalyzeError> {
+        analyze::analyze(&self.inner.borrow().dag)
     }
 
     /// Exports the metrics registry as a JSON object with `counters`,

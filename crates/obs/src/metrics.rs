@@ -71,6 +71,54 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `p`-quantile (`p` in `[0, 1]`, clamped) by linear
+    /// interpolation inside the fixed buckets — the standard Prometheus
+    /// `histogram_quantile` scheme, fully deterministic for a given bucket
+    /// layout and record sequence.
+    ///
+    /// The first bucket interpolates from zero (bandwidths and latencies
+    /// are non-negative); a quantile landing in the overflow bucket clamps
+    /// to the last edge, the largest value the layout can resolve. Returns
+    /// zero when the histogram is empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = p * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                if i == self.counts.len() - 1 {
+                    // Overflow bucket: unbounded above, clamp to last edge.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (target - cum) / c as f64;
+                return lo + frac * (hi - lo);
+            }
+            cum = next;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Median estimate — `quantile(0.5)`.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile estimate — `quantile(0.9)`.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile estimate — `quantile(0.99)`.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Named counters, gauges, and histograms, each kept in sorted order so
@@ -156,6 +204,47 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[4.0, 1.0]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0, 40.0]);
+        // 10 values in (0,10], 10 in (10,20]: p50 sits exactly on the
+        // first edge, p75 halfway through the second bucket.
+        for _ in 0..10 {
+            h.record(5.0);
+        }
+        for _ in 0..10 {
+            h.record(15.0);
+        }
+        assert!((h.p50() - 10.0).abs() < 1e-12);
+        assert!((h.quantile(0.75) - 15.0).abs() < 1e-12);
+        assert!((h.p90() - 18.0).abs() < 1e-12);
+        assert!((h.p99() - 19.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_clamp_overflow_and_empty() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.p50(), 0.0); // empty
+        h.record(100.0); // overflow bucket
+        assert_eq!(h.p50(), 2.0); // clamped to last edge
+        assert_eq!(h.quantile(-1.0), 2.0); // p clamps into [0,1]
+    }
+
+    #[test]
+    fn quantiles_are_deterministic_across_runs() {
+        let build = || {
+            let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+            for i in 0..100u32 {
+                h.record(f64::from(i % 9) * 0.9);
+            }
+            h
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.p50().to_bits(), b.p50().to_bits());
+        assert_eq!(a.p90().to_bits(), b.p90().to_bits());
+        assert_eq!(a.p99().to_bits(), b.p99().to_bits());
     }
 
     #[test]

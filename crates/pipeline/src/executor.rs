@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 
 use mobius_mapping::Mapping;
-use mobius_obs::{AttrValue, Lane, Obs};
+use mobius_obs::{AttrValue, DagDep, Lane, Obs, ResourceId};
 use mobius_sim::{
     CommKind, Engine, FaultAbort, FaultKind, FaultSchedule, FaultStats, FlowId, InvariantViolation,
     LinkId, SimTime, TraceRecorder,
@@ -57,6 +57,13 @@ pub struct SimStepReport {
     /// stage's gradient bucket. In resident-memory modes (no gradient
     /// offload flows) this is the step boundary.
     pub grad_flush: Vec<SimTime>,
+    /// Dependency-DAG node whose end is the step boundary (the last
+    /// backward compute). `None` when no observer was attached — node ids
+    /// are only meaningful in the caller's observer.
+    pub step_head: Option<u64>,
+    /// Per stage: DAG node of the gradient flush (the offload flow, or the
+    /// step head where no offload ran). `None`s without an observer.
+    pub grad_flush_sids: Vec<Option<u64>>,
 }
 
 /// Result of simulating several consecutive training steps.
@@ -74,6 +81,11 @@ pub struct MultiStepReport {
     /// flushing to DRAM in that step (the step boundary in
     /// resident-memory modes, which never launch gradient offloads).
     pub grad_flush: Vec<Vec<SimTime>>,
+    /// Per step: the DAG node whose end is the boundary. `None`s without
+    /// an attached observer (ids index the caller's observer).
+    pub step_heads: Vec<Option<u64>>,
+    /// `grad_flush_sids[step][stage]`: DAG node of the gradient flush.
+    pub grad_flush_sids: Vec<Vec<Option<u64>>>,
 }
 
 /// Why a (possibly faulted) simulation could not produce a report.
@@ -268,6 +280,11 @@ struct RetrySpec {
     /// End of the stall window that triggered the retry: relaunching
     /// inside it freezes again (the outage is still on).
     stalled_until: SimTime,
+    /// DAG node of the cancelled attempt; the relaunch chains after it
+    /// with the backoff as the edge latency.
+    prev_sid: Option<u64>,
+    /// Backoff separating the cancel from this relaunch.
+    backoff: SimTime,
 }
 
 struct Executor<'a> {
@@ -279,7 +296,7 @@ struct Executor<'a> {
     trace: TraceRecorder,
     gpus: Vec<GpuRt>,
     // mobius-lint: allow(D002, reason = "lookup-only; inserted on launch, removed on completion, never iterated")
-    flows: HashMap<FlowId, (Purpose, CommKind, Vec<usize>)>,
+    flows: HashMap<FlowId, (Purpose, CommKind, Vec<usize>, Option<u64>)>,
     /// `act_in[step][stage][mb]` / `grad_in[step][stage][mb]`.
     act_in: Vec<Vec<Vec<bool>>>,
     grad_in: Vec<Vec<Vec<bool>>>,
@@ -299,6 +316,29 @@ struct Executor<'a> {
     m: usize,
     steps: usize,
     obs: Option<Obs>,
+    /// DAG recorder: the caller's observer when one was attached, or a
+    /// private one on strict untraced runs so the critical-path identity
+    /// is still verified. `None` otherwise (nothing recorded).
+    dag_obs: Option<Obs>,
+    /// Whether `dag_obs` is the caller's observer — only then may node
+    /// ids appear in reports (private ids would be meaningless outside).
+    dag_public: bool,
+    /// Per GPU: the last compute node (serializes the compute chain).
+    last_compute_sid: Vec<Option<u64>>,
+    /// Per GPU: the compute node currently running.
+    running_sid: Vec<Option<u64>>,
+    /// `slot_deps[g][idx]`: constraints slot `idx`'s compute inherits
+    /// from its stage uploads (flow end + swap overhead).
+    slot_deps: Vec<Vec<Vec<DagDep>>>,
+    /// `act_dep[step][stage][mb]`: edge explaining the activation input
+    /// (transfer end + act latency, or the same-GPU producer's end).
+    act_dep: Vec<Vec<Vec<Option<DagDep>>>>,
+    /// `grad_dep[step][stage][mb]`: same for the backward gradient input.
+    grad_dep: Vec<Vec<Vec<Option<DagDep>>>>,
+    /// Per step: the node whose end is the step boundary.
+    step_heads: Vec<Option<u64>>,
+    /// `grad_flush_sids[step][stage]`: node of the gradient-offload flow.
+    grad_flush_sids: Vec<Vec<Option<u64>>>,
     /// Attached fault schedule; `None` when empty (nothing armed, so the
     /// run is bit-identical to an unfaulted one).
     faults: Option<&'a FaultSchedule>,
@@ -354,6 +394,8 @@ pub fn simulate_step_traced(
         trace: multi.trace,
         faults: multi.faults,
         grad_flush: std::mem::take(&mut multi.grad_flush[0]),
+        step_head: multi.step_heads[0],
+        grad_flush_sids: std::mem::take(&mut multi.grad_flush_sids[0]),
     })
 }
 
@@ -536,9 +578,20 @@ fn simulate_steps_inner(
     }
     let mut engine = Engine::new();
     let mut trace = TraceRecorder::new();
+    // Link labels and base capacities always feed the recorder: the DAG
+    // attributes each flow to its path's bottleneck link, which must work
+    // on untraced strict runs (private identity check) too.
+    let caps: Vec<f64> = {
+        let net = server.net();
+        net.link_ids()
+            .iter()
+            .map(|&l| net.link_capacity(l))
+            .collect()
+    };
+    trace.set_link_labels(server.net().link_labels());
+    trace.set_link_capacities(caps.clone());
     if let Some(obs) = obs {
         trace.set_obs(obs.clone());
-        trace.set_link_labels(server.net().link_labels());
         server.net_mut().set_obs(obs.clone());
         engine.set_obs(obs.clone());
     }
@@ -547,18 +600,25 @@ fn simulate_steps_inner(
     // drop it here so nothing downstream even sees it.
     let faults = faults.filter(|f| !f.is_empty());
     let (base_caps, link_factor) = if faults.is_some() {
-        let caps: Vec<f64> = {
-            let net = server.net();
-            net.link_ids()
-                .iter()
-                .map(|&l| net.link_capacity(l))
-                .collect()
-        };
         let factors = vec![1.0; caps.len()];
         (caps, factors)
     } else {
         (Vec::new(), Vec::new())
     };
+
+    // The dependency DAG records into the caller's observer when given;
+    // strict untraced runs record into a private one so the critical-path
+    // identity is verified everywhere, but its node ids never leak.
+    let dag_public = obs.is_some();
+    let dag_obs = match obs {
+        Some(o) => Some(o.clone()),
+        None if cfg.strict_validation => Some(Obs::new()),
+        None => None,
+    };
+    let slot_deps: Vec<Vec<Vec<DagDep>>> = gpus
+        .iter()
+        .map(|g| vec![Vec::new(); g.slots.len()])
+        .collect();
 
     let mut exec = Executor {
         stages,
@@ -582,6 +642,15 @@ fn simulate_steps_inner(
         m,
         steps,
         obs: obs.cloned(),
+        dag_obs,
+        dag_public,
+        last_compute_sid: vec![None; n],
+        running_sid: vec![None; n],
+        slot_deps,
+        act_dep: vec![vec![vec![None; m]; s]; steps],
+        grad_dep: vec![vec![vec![None; m]; s]; steps],
+        step_heads: vec![None; steps],
+        grad_flush_sids: vec![vec![None; s]; steps],
         faults,
         fault_stats: FaultStats::default(),
         base_caps,
@@ -603,15 +672,34 @@ fn simulate_steps_inner(
         });
     }
     let drain_time = exec.engine.now();
+    // Boundaries are committed only on successful runs: an aborted attempt
+    // leaves its nodes in the caller's DAG, but without boundaries they are
+    // unreachable from any verified head and stay inert under analysis.
+    if let Some(dag) = &exec.dag_obs {
+        for (i, &b) in exec.step_boundaries.iter().enumerate() {
+            if let Some(sid) = exec.step_heads[i] {
+                dag.dag_boundary(b.as_nanos(), sid);
+            }
+        }
+        if cfg.strict_validation {
+            // Cross-layer validator: the recorded dependency DAG must
+            // reconstruct every step boundary as an exact critical-path
+            // tiling. A failure means the executor started work at a time
+            // its recorded constraints cannot explain.
+            if let Err(e) = dag.verify_dag_identity() {
+                let msg = e.to_string();
+                dag.violation("critical-path-identity", &msg, drain_time.as_nanos());
+                panic!("critical-path identity violated: {msg}");
+            }
+        }
+    }
     if let Some(obs) = obs {
         for (i, &b) in exec.step_boundaries.iter().enumerate() {
-            obs.mark(
-                Lane::Run,
-                "pipeline",
-                "step-boundary",
-                b.as_nanos(),
-                vec![("step", AttrValue::U64(i as u64))],
-            );
+            let mut attrs = vec![("step", AttrValue::U64(i as u64))];
+            if let Some(sid) = exec.step_heads[i] {
+                attrs.push(("sid", AttrValue::U64(sid)));
+            }
+            obs.mark(Lane::Run, "pipeline", "step-boundary", b.as_nanos(), attrs);
         }
         // Bubble fraction: GPU time not spent computing, relative to the
         // whole run (drain included) — the quantity behind Figure 8's
@@ -638,12 +726,29 @@ fn simulate_steps_inner(
             }
         }
     }
+    // Node ids are only meaningful inside the caller's observer: private
+    // (strict-untraced) ids must not leak into the report.
+    let (step_heads, grad_flush_sids) = if exec.dag_public {
+        let mut sids = exec.grad_flush_sids;
+        for (step, row) in sids.iter_mut().enumerate() {
+            for sid in row.iter_mut() {
+                if sid.is_none() {
+                    *sid = exec.step_heads[step];
+                }
+            }
+        }
+        (exec.step_heads, sids)
+    } else {
+        (vec![None; steps], vec![vec![None; s]; steps])
+    };
     Ok(MultiStepReport {
         step_boundaries: exec.step_boundaries,
         drain_time,
         trace: exec.trace,
         faults: exec.fault_stats,
         grad_flush,
+        step_heads,
+        grad_flush_sids,
     })
 }
 
@@ -666,7 +771,7 @@ impl Executor<'_> {
     fn run(&mut self) {
         // Kick off the first slot's load on every GPU.
         for g in 0..self.gpus.len() {
-            self.start_residual_for_slot(g, 0);
+            self.start_residual_for_slot(g, 0, None);
         }
         self.pump();
         loop {
@@ -921,7 +1026,7 @@ impl Executor<'_> {
             });
             return;
         }
-        let (purpose, kind, gpus) = self
+        let (purpose, kind, gpus, prev_sid) = self
             .flows
             .remove(&fid)
             .expect("retried flow without metadata");
@@ -932,6 +1037,11 @@ impl Executor<'_> {
             .priority_of(fid)
             .expect("retried flow priority");
         self.server.net_mut().cancel(fid);
+        // The cancelled attempt's occupancy ends here; the relaunch node
+        // chains after it with the backoff as the edge latency.
+        if let (Some(dag), Some(sid)) = (&self.dag_obs, prev_sid) {
+            dag.dag_close(sid, now.as_nanos());
+        }
         self.fault_stats.retries += 1;
         if let Some(obs) = &self.obs {
             obs.counter_add("retry.count", 1.0);
@@ -962,6 +1072,8 @@ impl Executor<'_> {
                 gpus,
                 attempt: next,
                 stalled_until,
+                prev_sid,
+                backoff,
             }),
         );
     }
@@ -974,11 +1086,21 @@ impl Executor<'_> {
         if self.abort.is_some() {
             return;
         }
+        let deps = match spec.prev_sid {
+            Some(p) => vec![DagDep::after_end(
+                p,
+                spec.backoff.as_nanos(),
+                "retry-backoff",
+            )],
+            None => Vec::new(),
+        };
+        let sid = self.open_flow_node(&spec.path, spec.kind, deps);
         let fid = self
             .server
             .net_mut()
             .start_flow(spec.path, spec.bytes, spec.prio, 0);
-        self.flows.insert(fid, (spec.purpose, spec.kind, spec.gpus));
+        self.flows
+            .insert(fid, (spec.purpose, spec.kind, spec.gpus, sid));
         let now = self.engine.now();
         if now < spec.stalled_until {
             self.server.net_mut().set_flow_blocked(fid, true);
@@ -1013,14 +1135,27 @@ impl Executor<'_> {
             }
             Err(v) => panic!("flow completion failed: {v}"),
         };
-        let (purpose, kind, gpus) = self
+        let (purpose, kind, gpus, sid) = self
             .flows
             .remove(&fid)
             .expect("completed flow without metadata");
         self.trace.record_flow(&rec, kind, &gpus);
+        if let (Some(dag), Some(fsid)) = (&self.dag_obs, sid) {
+            dag.dag_close(fsid, self.engine.now().as_nanos());
+        }
         match purpose {
             Purpose::Load { gpu, idx, residual } => {
                 let overhead = self.cfg.swap_overhead;
+                if let (Some(_), Some(fsid)) = (&self.dag_obs, sid) {
+                    // The slot's compute may only start once this upload
+                    // landed and the swap overhead elapsed. With both a
+                    // prefetch and a residual flow, the later one binds.
+                    self.slot_deps[gpu][idx].push(DagDep::after_end(
+                        fsid,
+                        overhead.as_nanos(),
+                        "swap-overhead",
+                    ));
+                }
                 let l = &mut self.gpus[gpu].slots[idx].load;
                 if residual {
                     l.residual_done = true;
@@ -1039,6 +1174,15 @@ impl Executor<'_> {
                 mb,
                 grad,
             } => {
+                if let (Some(_), Some(fsid)) = (&self.dag_obs, sid) {
+                    let dep =
+                        DagDep::after_end(fsid, self.cfg.act_latency.as_nanos(), "act-latency");
+                    if grad {
+                        self.grad_dep[step][to_stage][mb] = Some(dep);
+                    } else {
+                        self.act_dep[step][to_stage][mb] = Some(dep);
+                    }
+                }
                 self.engine.schedule_after(
                     self.cfg.act_latency,
                     Ev::ActArrived {
@@ -1052,15 +1196,18 @@ impl Executor<'_> {
             Purpose::GradOffload { step, stage } => {
                 self.grad_flushed[step][stage] = true;
                 self.grad_flush[step][stage] = self.engine.now();
-                self.unblock_gated_load(step, stage);
+                self.grad_flush_sids[step][stage] = sid;
+                self.unblock_gated_load(step, stage, sid);
             }
             Purpose::Bookkeeping => {}
         }
     }
 
     /// Gradients of `(step, stage)` reached DRAM: the stage may reload for
-    /// step `step + 1` if its load was waiting on the gate.
-    fn unblock_gated_load(&mut self, step: usize, stage: usize) {
+    /// step `step + 1` if its load was waiting on the gate. `flush_sid` is
+    /// the gradient-offload flow's DAG node — unblocked loads chain after
+    /// its end (the reload-gate dependency of §3, constraint 4).
+    fn unblock_gated_load(&mut self, step: usize, stage: usize, flush_sid: Option<u64>) {
         let next_step = step + 1;
         if next_step >= self.steps {
             return;
@@ -1070,10 +1217,12 @@ impl Executor<'_> {
         };
         let l = self.gpus[g].slots[idx].load;
         if let Some(reserved) = l.prefetch_wanted {
-            self.launch_prefetch(g, idx, reserved);
+            let trig = flush_sid.map(|s| DagDep::after_end(s, 0, "reload-gate"));
+            self.launch_prefetch(g, idx, reserved, trig);
         }
         if l.residual_wanted {
-            self.launch_residual(g, idx);
+            let trig = flush_sid.map(|s| DagDep::after_end(s, 0, "reload-gate"));
+            self.launch_residual(g, idx, trig);
         }
     }
 
@@ -1116,6 +1265,35 @@ impl Executor<'_> {
                 phase: slot.phase,
             };
             let now = self.engine.now();
+            if let Some(dag) = &self.dag_obs {
+                let cur = self.gpus[g].cur;
+                let mut deps = Vec::new();
+                if let Some(prev) = self.last_compute_sid[g] {
+                    deps.push(DagDep::after_end(prev, 0, "gpu-serial"));
+                }
+                deps.extend(self.slot_deps[g][cur].iter().cloned());
+                let input = match slot.phase {
+                    Phase::Fwd if slot.stage > 0 => self.act_dep[slot.step][slot.stage][mb].clone(),
+                    Phase::Bwd if slot.stage + 1 < self.num_stages => {
+                        self.grad_dep[slot.step][slot.stage][mb].clone()
+                    }
+                    _ => None,
+                };
+                deps.extend(input);
+                let phase_s = match slot.phase {
+                    Phase::Fwd => "fwd",
+                    Phase::Bwd => "bwd",
+                };
+                let sid = dag.dag_open(
+                    "compute",
+                    format!("{phase_s} s{} mb{} step{}", slot.stage, mb, slot.step),
+                    ResourceId::Gpu(g),
+                    now.as_nanos(),
+                    deps,
+                );
+                self.running_sid[g] = Some(sid);
+                self.last_compute_sid[g] = Some(sid);
+            }
             self.gpus[g].running = Some((task, now));
             self.engine
                 .schedule_after(duration, Ev::ComputeDone { gpu: g });
@@ -1137,6 +1315,10 @@ impl Executor<'_> {
         let (task, started) = self.gpus[g].running.take().expect("no task running");
         let now = self.engine.now();
         self.trace.record_compute(g, started, now);
+        let head_sid = self.running_sid[g].take();
+        if let (Some(dag), Some(sid)) = (&self.dag_obs, head_sid) {
+            dag.dag_close(sid, now.as_nanos());
+        }
 
         let finished_slot = self.gpus[g].cur;
         if task.mb + 1 == self.m {
@@ -1147,10 +1329,15 @@ impl Executor<'_> {
         }
 
         let j = task.stage;
+        let produce = |sid: Option<u64>| -> Vec<DagDep> {
+            sid.map(|p| DagDep::after_end(p, 0, "produce"))
+                .into_iter()
+                .collect()
+        };
         match task.phase {
             Phase::Fwd => {
                 if j + 1 < self.num_stages {
-                    self.send_activation(task.step, j, task.mb);
+                    self.send_activation(task.step, j, task.mb, head_sid);
                 }
                 if self.hetero && j > 0 && self.stages[j].in_act_bytes > 0 {
                     // Checkpoint offload of this microbatch's stage input.
@@ -1162,6 +1349,7 @@ impl Executor<'_> {
                         Purpose::Bookkeeping,
                         CommKind::ActivationOffload,
                         vec![g],
+                        produce(head_sid),
                     );
                 }
             }
@@ -1169,9 +1357,10 @@ impl Executor<'_> {
                 self.bwd_done[task.step] += 1;
                 if self.bwd_done[task.step] == self.num_stages * self.m {
                     self.step_boundaries[task.step] = now;
+                    self.step_heads[task.step] = head_sid;
                 }
                 if j > 0 {
-                    self.send_grad(task.step, j, task.mb);
+                    self.send_grad(task.step, j, task.mb, head_sid);
                 }
                 if self.hetero && task.mb + 1 == self.m {
                     let path = self.server.gpu_to_dram(g);
@@ -1185,6 +1374,7 @@ impl Executor<'_> {
                         },
                         CommKind::GradientOffload,
                         vec![g],
+                        produce(head_sid),
                     );
                 }
             }
@@ -1192,17 +1382,27 @@ impl Executor<'_> {
         if task.mb + 1 == self.m {
             // Memory of the finished slot is free: start the next slot's
             // residual upload.
-            self.start_residual_for_slot(g, finished_slot + 1);
+            let trig = head_sid.map(|s| DagDep::after_end(s, 0, "slot-retire"));
+            self.start_residual_for_slot(g, finished_slot + 1, trig);
         }
     }
 
-    fn send_activation(&mut self, step: usize, from: usize, mb: usize) {
+    fn send_activation(&mut self, step: usize, from: usize, mb: usize, producer: Option<u64>) {
         let to = from + 1;
         let g_from = self.mapping.gpu_of(from);
         let g_to = self.mapping.gpu_of(to);
         match self.server.gpu_to_gpu(g_from, g_to) {
-            None => self.act_in[step][to][mb] = true,
+            None => {
+                self.act_in[step][to][mb] = true;
+                if let Some(p) = producer {
+                    self.act_dep[step][to][mb] = Some(DagDep::after_end(p, 0, "act-local"));
+                }
+            }
             Some(path) => {
+                let deps = producer
+                    .map(|p| DagDep::after_end(p, 0, "produce"))
+                    .into_iter()
+                    .collect();
                 self.launch(
                     path,
                     self.stages[to].in_act_bytes.max(1),
@@ -1215,18 +1415,28 @@ impl Executor<'_> {
                     },
                     CommKind::ActivationTransfer,
                     vec![g_from, g_to],
+                    deps,
                 );
             }
         }
     }
 
-    fn send_grad(&mut self, step: usize, from: usize, mb: usize) {
+    fn send_grad(&mut self, step: usize, from: usize, mb: usize, producer: Option<u64>) {
         let to = from - 1;
         let g_from = self.mapping.gpu_of(from);
         let g_to = self.mapping.gpu_of(to);
         match self.server.gpu_to_gpu(g_from, g_to) {
-            None => self.grad_in[step][to][mb] = true,
+            None => {
+                self.grad_in[step][to][mb] = true;
+                if let Some(p) = producer {
+                    self.grad_dep[step][to][mb] = Some(DagDep::after_end(p, 0, "act-local"));
+                }
+            }
             Some(path) => {
+                let deps = producer
+                    .map(|p| DagDep::after_end(p, 0, "produce"))
+                    .into_iter()
+                    .collect();
                 self.launch(
                     path,
                     self.stages[from].in_act_bytes.max(1),
@@ -1239,6 +1449,7 @@ impl Executor<'_> {
                     },
                     CommKind::ActivationTransfer,
                     vec![g_from, g_to],
+                    deps,
                 );
             }
         }
@@ -1263,13 +1474,16 @@ impl Executor<'_> {
             }
         }
         if self.load_gate_open(g, next) {
-            self.launch_prefetch(g, next, reserved);
+            // The prefetch window opens the moment the covering compute
+            // *starts* (constraint 5 reserves memory next to it).
+            let trig = self.running_sid[g].map(|s| DagDep::after_start(s, 0, "prefetch-window"));
+            self.launch_prefetch(g, next, reserved, trig);
         } else {
             self.gpus[g].slots[next].load.prefetch_wanted = Some(reserved);
         }
     }
 
-    fn launch_prefetch(&mut self, g: usize, idx: usize, reserved: u64) {
+    fn launch_prefetch(&mut self, g: usize, idx: usize, reserved: u64, trigger: Option<DagDep>) {
         let slot = self.gpus[g].slots[idx];
         let p;
         {
@@ -1321,24 +1535,25 @@ impl Executor<'_> {
             },
             CommKind::StageUpload,
             vec![g],
+            trigger.into_iter().collect(),
         );
     }
 
     /// When slot `idx - 1` retires (or at t = 0 for the first slot), the
     /// slot's remaining bytes upload, blocking its computation — again
     /// gated on the previous step's gradient flush.
-    fn start_residual_for_slot(&mut self, g: usize, idx: usize) {
+    fn start_residual_for_slot(&mut self, g: usize, idx: usize, trigger: Option<DagDep>) {
         if idx >= self.gpus[g].slots.len() {
             return;
         }
         if self.load_gate_open(g, idx) {
-            self.launch_residual(g, idx);
+            self.launch_residual(g, idx, trigger);
         } else {
             self.gpus[g].slots[idx].load.residual_wanted = true;
         }
     }
 
-    fn launch_residual(&mut self, g: usize, idx: usize) {
+    fn launch_residual(&mut self, g: usize, idx: usize, trigger: Option<DagDep>) {
         let slot = self.gpus[g].slots[idx];
         let bytes;
         {
@@ -1373,6 +1588,16 @@ impl Executor<'_> {
                     let overhead = self.cfg.swap_overhead;
                     self.engine
                         .schedule_after(overhead, Ev::LoadUsable { gpu: g, idx });
+                    // Full prefetch hit: usability is trigger + overhead
+                    // (no residual flow node exists to carry the edge).
+                    if let (Some(_), Some(t)) = (&self.dag_obs, &trigger) {
+                        self.slot_deps[g][idx].push(DagDep {
+                            pred: t.pred,
+                            lat_ns: t.lat_ns + self.cfg.swap_overhead.as_nanos(),
+                            edge: t.edge,
+                            label: "swap-overhead".to_string(),
+                        });
+                    }
                 }
                 return;
             }
@@ -1390,6 +1615,7 @@ impl Executor<'_> {
             },
             CommKind::StageUpload,
             vec![g],
+            trigger.into_iter().collect(),
         );
     }
 
@@ -1408,6 +1634,22 @@ impl Executor<'_> {
         (200usize.saturating_sub(rank)).max(1) as u8
     }
 
+    /// Opens the flow's DAG node on its path's bottleneck link (by base
+    /// capacity — the stable attribution target even while a fault window
+    /// temporarily degrades some other link).
+    fn open_flow_node(&self, path: &[LinkId], kind: CommKind, deps: Vec<DagDep>) -> Option<u64> {
+        let dag = self.dag_obs.as_ref()?;
+        let label = self.trace.bottleneck_label(path).unwrap_or("unknown");
+        Some(dag.dag_open(
+            "flow",
+            kind.label(),
+            ResourceId::Link(label.to_string()),
+            self.engine.now().as_nanos(),
+            deps,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)] // one flat call site per transfer kind
     fn launch(
         &mut self,
         path: Vec<mobius_sim::LinkId>,
@@ -1416,12 +1658,14 @@ impl Executor<'_> {
         purpose: Purpose,
         kind: CommKind,
         gpus: Vec<usize>,
+        deps: Vec<DagDep>,
     ) {
+        let sid = self.open_flow_node(&path, kind, deps);
         let fid = self
             .server
             .net_mut()
             .start_flow(path, bytes as f64, prio, 0);
-        self.flows.insert(fid, (purpose, kind, gpus));
+        self.flows.insert(fid, (purpose, kind, gpus, sid));
     }
 }
 
@@ -1859,6 +2103,59 @@ mod tests {
             err,
             ScheduleError::GpuCountMismatch { mapped: 2, topo: 4 }
         ));
+    }
+
+    #[test]
+    fn dag_identity_holds_and_analyze_attributes_steps() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let obs = Obs::new();
+        let rep = simulate_steps_traced(&stages, &mapping, &topo, &c, 2, Some(&obs)).unwrap();
+        assert!(obs.dag_len() > 0, "traced run must record a DAG");
+        obs.verify_dag_identity().unwrap();
+        let analysis = obs.analyze().unwrap();
+        assert_eq!(analysis.steps.len(), 2);
+        assert_eq!(analysis.total_ns, rep.step_boundaries[1].as_nanos());
+        // Each step's critical path tiles the step window exactly.
+        for (i, s) in analysis.steps.iter().enumerate() {
+            let tiled: u64 = s.path.iter().map(|seg| seg.end_ns - seg.start_ns).sum();
+            assert_eq!(tiled, s.end_ns - s.start_ns, "step {i} tiling");
+            // Heterogeneous steps spend critical-path time on both compute
+            // and PCIe transfers.
+            assert!(s.class_blame.get("gpu").copied().unwrap_or(0) > 0);
+        }
+        // A pipeline this upload-bound must blame some PCIe time overall.
+        let pcie: u64 = analysis
+            .steps
+            .iter()
+            .map(|s| s.class_blame.get("pcie").copied().unwrap_or(0))
+            .sum();
+        assert!(pcie > 0, "expected PCIe on the critical path");
+        // Zeroing a class can only help, and zeroing GPU compute must help.
+        let gpu_whatif = analysis.whatif_total_ns["gpu"];
+        assert!(gpu_whatif < analysis.total_ns);
+        // Reports surface the heads and per-stage flush nodes.
+        assert!(rep.step_heads.iter().all(Option::is_some));
+        assert!(rep.grad_flush_sids.iter().flatten().all(Option::is_some));
+    }
+
+    #[test]
+    fn untraced_reports_carry_no_private_sids() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        // Strict but untraced: the identity is verified internally, yet no
+        // private node id may leak into the report.
+        let rep = simulate_steps(&stages, &mapping, &topo, &c, 2).unwrap();
+        assert!(rep.step_heads.iter().all(Option::is_none));
+        assert!(rep.grad_flush_sids.iter().flatten().all(Option::is_none));
+    }
+
+    #[test]
+    fn observation_does_not_perturb_the_dagged_run() {
+        let (stages, mapping, topo, c) = hetero_setup();
+        let obs = Obs::new();
+        let traced = simulate_steps_traced(&stages, &mapping, &topo, &c, 2, Some(&obs)).unwrap();
+        let plain = simulate_steps(&stages, &mapping, &topo, &c, 2).unwrap();
+        assert_eq!(traced.step_boundaries, plain.step_boundaries);
+        assert_eq!(traced.drain_time, plain.drain_time);
     }
 
     #[test]

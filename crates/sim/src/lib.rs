@@ -55,5 +55,5 @@ pub use fault::{
 pub use flow::{FlowId, FlowNetwork, FlowRecord, FlowSetStats, LinkId, Priority};
 pub use intervals::IntervalSet;
 pub use time::SimTime;
-pub use trace::{BandwidthSample, Cdf, CommKind, TraceRecorder};
+pub use trace::{BandwidthSample, Cdf, CommKind, FlowOccupancy, TraceRecorder};
 pub use validate::InvariantViolation;

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use mobius_obs::{AttrValue, Lane, Obs, GBPS_BUCKETS};
 use serde::{Deserialize, Serialize};
 
-use crate::{FlowRecord, IntervalSet, SimTime};
+use crate::{FlowRecord, IntervalSet, LinkId, SimTime};
 
 /// Categories of transfers, used for traffic breakdowns.
 ///
@@ -154,6 +154,27 @@ impl Cdf {
     }
 }
 
+/// One completed flow viewed as a *resource occupancy*: the transfer held
+/// its path's bottleneck link for `[started, finished]`. These records are
+/// what `mobius-analyze` attributes critical-path time to — a flow blames
+/// the narrowest link on its path, since widening any other link cannot
+/// speed it up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowOccupancy {
+    /// Transfer category.
+    pub kind: CommKind,
+    /// Bytes moved.
+    pub bytes: f64,
+    /// Flow start time.
+    pub started: SimTime,
+    /// Flow completion time.
+    pub finished: SimTime,
+    /// Label of the path's bottleneck link (smallest base capacity, first
+    /// on ties); `None` when labels/capacities were not supplied or the
+    /// path was empty.
+    pub bottleneck: Option<String>,
+}
+
 /// Collects everything an experiment needs to report: samples, per-kind
 /// traffic, and per-GPU compute/communication busy intervals.
 ///
@@ -171,6 +192,8 @@ pub struct TraceRecorder {
     comm: BTreeMap<usize, IntervalSet>,
     obs: Option<Obs>,
     link_labels: Vec<String>,
+    link_capacities: Vec<f64>,
+    occupancy: Vec<FlowOccupancy>,
 }
 
 impl TraceRecorder {
@@ -195,6 +218,32 @@ impl TraceRecorder {
         self.link_labels = labels;
     }
 
+    /// The link label for `link`, when labels were supplied.
+    pub fn link_label(&self, link: LinkId) -> Option<&str> {
+        self.link_labels.get(link.index()).map(String::as_str)
+    }
+
+    /// Supplies base link capacities (bytes/s) indexed by [`crate::LinkId`]
+    /// so completed flows can be attributed to their bottleneck link (see
+    /// [`TraceRecorder::bottleneck_label`]).
+    pub fn set_link_capacities(&mut self, capacities: Vec<f64>) {
+        self.link_capacities = capacities;
+    }
+
+    /// Label of the bottleneck link of `path`: the link with the smallest
+    /// base capacity, the first one on ties (deterministic). `None` when
+    /// the path is empty or capacities/labels were not supplied.
+    pub fn bottleneck_label(&self, path: &[LinkId]) -> Option<&str> {
+        let mut best: Option<(f64, usize)> = None;
+        for l in path {
+            let cap = self.link_capacities.get(l.index()).copied()?;
+            if best.is_none_or(|(bc, _)| cap < bc) {
+                best = Some((cap, l.index()));
+            }
+        }
+        self.link_labels.get(best?.1).map(String::as_str)
+    }
+
     /// Records a completed transfer. `gpus` lists the GPUs whose PCIe lanes
     /// the transfer occupied (one for DRAM↔GPU copies, two for GPU↔GPU).
     pub fn record_flow(&mut self, rec: &FlowRecord, kind: CommKind, gpus: &[usize]) {
@@ -207,6 +256,13 @@ impl TraceRecorder {
             kind,
         });
         *self.traffic.entry(kind).or_insert(0.0) += rec.bytes;
+        self.occupancy.push(FlowOccupancy {
+            kind,
+            bytes: rec.bytes,
+            started: rec.started,
+            finished: rec.finished,
+            bottleneck: self.bottleneck_label(&rec.path).map(str::to_string),
+        });
         for &g in gpus {
             self.comm
                 .entry(g)
@@ -280,6 +336,11 @@ impl TraceRecorder {
     /// All bandwidth samples.
     pub fn samples(&self) -> &[BandwidthSample] {
         &self.samples
+    }
+
+    /// Per-flow resource-occupancy records, in completion order.
+    pub fn occupancy(&self) -> &[FlowOccupancy] {
+        &self.occupancy
     }
 
     /// Byte-weighted bandwidth CDF over all transfers.
@@ -401,6 +462,7 @@ impl TraceRecorder {
     /// aggregates several steps).
     pub fn merge(&mut self, other: &TraceRecorder) {
         self.samples.extend_from_slice(&other.samples);
+        self.occupancy.extend_from_slice(&other.occupancy);
         for (&k, &b) in &other.traffic {
             *self.traffic.entry(k).or_insert(0.0) += b;
             // Mirror the merge into the byte counters so they keep tracking
@@ -527,6 +589,38 @@ mod tests {
         // Comm occupies the first half, compute the second.
         assert!(lines[0].contains("#"));
         assert!(lines[1].starts_with("   comm |====="));
+    }
+
+    #[test]
+    fn occupancy_blames_the_bottleneck_link() {
+        let mut tr = TraceRecorder::new();
+        tr.set_link_labels(vec!["rc0-h2d".into(), "gpu0-lane-h2d".into()]);
+        // The GPU lane is the narrower link: it is the bottleneck even
+        // though it comes second on the path.
+        tr.set_link_capacities(vec![16e9, 8e9]);
+        let rec = FlowRecord {
+            bytes: 1e9,
+            started: SimTime::ZERO,
+            finished: SimTime::from_secs(1),
+            path: vec![LinkId(0), LinkId(1)],
+            user: 0,
+        };
+        tr.record_flow(&rec, CommKind::StageUpload, &[0]);
+        let occ = tr.occupancy();
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].bottleneck.as_deref(), Some("gpu0-lane-h2d"));
+        assert_eq!(occ[0].kind, CommKind::StageUpload);
+        assert_eq!(tr.link_label(LinkId(0)), Some("rc0-h2d"));
+
+        // Ties go to the first link on the path.
+        tr.set_link_capacities(vec![8e9, 8e9]);
+        assert_eq!(
+            tr.bottleneck_label(&[LinkId(0), LinkId(1)]),
+            Some("rc0-h2d")
+        );
+        // Unknown capacities disable attribution rather than guessing.
+        assert_eq!(tr.bottleneck_label(&[LinkId(5)]), None);
+        assert_eq!(tr.bottleneck_label(&[]), None);
     }
 
     #[test]

@@ -70,6 +70,33 @@ if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
     --quick --seed 42 --json BENCH_solver.json >/dev/null
 fi
 
+echo "==> attribution determinism gate (two analyzed runs, byte-identical JSON)"
+cargo run --release -q -p mobius --bin mobius-cli -- \
+  step --model gpt2 --topo 2+2 --system mobius --strict \
+  --analyze-out "$tmpdir/attr_a.json" >/dev/null
+cargo run --release -q -p mobius --bin mobius-cli -- \
+  step --model gpt2 --topo 2+2 --system mobius --strict \
+  --analyze-out "$tmpdir/attr_b.json" >/dev/null
+cmp "$tmpdir/attr_a.json" "$tmpdir/attr_b.json" || {
+  echo "FAIL: identical analyzed runs diverged" >&2
+  exit 1
+}
+
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+  echo "==> regenerating tests/golden/attribution_cli.json (UPDATE_GOLDEN=1)"
+  cp "$tmpdir/attr_a.json" tests/golden/attribution_cli.json
+fi
+
+echo "==> attribution golden gate (vs tests/golden/attribution_cli.json)"
+# The committed attribution JSON pins the analyze engine's output bytes —
+# critical path, blame, utilization, and what-if bounds. Regenerate with
+# UPDATE_GOLDEN=1 after an intentional engine or executor change.
+cmp "$tmpdir/attr_a.json" tests/golden/attribution_cli.json || {
+  echo "FAIL: attribution JSON drifted from the committed golden" >&2
+  echo "      (rerun with UPDATE_GOLDEN=1 to regenerate after intentional changes)" >&2
+  exit 1
+}
+
 echo "==> solver-perf baseline gate (counter diff vs BENCH_solver.json)"
 # Direction-aware: work counters (B&B nodes, partition rebuilds) may only
 # shrink, reuse counters may only grow, checksums must match exactly. The

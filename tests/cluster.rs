@@ -78,6 +78,7 @@ fn doctored_traffic_is_rejected_by_the_validator() {
         ReplicaTiming {
             bucket_bytes: vec![3e9, 2e9],
             ready: vec![SimTime::from_millis(50), SimTime::from_millis(110)],
+            ready_sids: vec![],
         };
         3
     ];
