@@ -1,0 +1,27 @@
+//! Regenerates the recovery extension tables (checkpoint overhead vs
+//! cadence and work lost vs crash point). Pass `--quick` for a reduced
+//! run, `--seed N` for CLI symmetry with the other extensions (the tables
+//! are seed-independent), and `--json <path>` to also write the result as
+//! a JSON report.
+//!
+//! Deterministic: two runs produce byte-identical JSON (the recovery
+//! determinism gate of `scripts/verify.sh`).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = match args.iter().position(|a| a == "--seed") {
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(s) => s,
+            None => {
+                eprintln!("error: flag `--seed` expects an integer");
+                std::process::exit(2);
+            }
+        },
+        None => 42,
+    };
+    let experiments = mobius_bench::experiments::recovery::run(quick, seed);
+    if let Err(msg) = mobius_bench::emit(&experiments) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

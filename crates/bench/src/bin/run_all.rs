@@ -16,6 +16,9 @@ fn main() {
         std::process::exit(1);
     }
     let path = "experiments_output.md";
-    std::fs::write(path, md).expect("write experiments_output.md");
+    if let Err(e) = std::fs::write(path, md) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {path} ({} experiments)", experiments.len());
 }

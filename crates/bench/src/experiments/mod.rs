@@ -17,6 +17,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod recovery;
 pub mod resilience;
 pub mod scaling;
 pub mod schedules;
@@ -56,5 +57,6 @@ pub fn run_all(quick: bool) -> Vec<Experiment> {
     all.extend(resilience::run(quick, 42));
     all.extend(scaling::run(quick, 42));
     all.extend(attribution::run(quick, 42));
+    all.extend(recovery::run(quick, 42));
     all
 }

@@ -1,0 +1,161 @@
+//! Simulated checkpoint write cost: a DRAM→SSD flow on the fluid-flow
+//! network, recorded into the observability DAG under the `ckpt` class.
+//!
+//! A checkpoint drains optimizer state out of host DRAM onto the local
+//! SSD — exactly the tier ZeRO-Infinity treats as first-class. The cost
+//! model is deliberately simple: one flow across two links, `ckpt-dram`
+//! (host staging bandwidth) and `ckpt-ssd` (NVMe write bandwidth), whose
+//! bottleneck sets the duration. The `ckpt*` link labels classify as
+//! [`mobius_obs::ResourceClass::Ckpt`], so the write shows up in traces,
+//! blame tables, and what-if attribution as its own hardware class.
+
+use mobius_obs::{AttrValue, DagDep, Lane, Obs, ResourceId};
+use mobius_sim::{FlowNetwork, SimTime};
+
+/// Host DRAM staging bandwidth for checkpoint drains, GB/s. Matches the
+/// PCIe-root-complex-class bandwidth used elsewhere in the workspace.
+pub const CKPT_DRAM_GBPS: f64 = 12.8;
+
+/// Default commodity NVMe sequential-write bandwidth, GB/s; used when the
+/// topology declares no SSD tier of its own.
+pub const DEFAULT_CKPT_SSD_GBPS: f64 = 2.0;
+
+/// Checkpoint bytes per byte of fp16 model state: the fp32 master
+/// parameters plus both Adam moments (3 × 4 bytes per parameter, against
+/// 2 bytes per parameter of model size). The fp16 working copy is
+/// recomputable from the master weights and is not persisted.
+pub const CKPT_STATE_FACTOR: f64 = 6.0;
+
+/// The bytes one checkpoint writes for a model of `model_bytes` (fp16)
+/// parameters.
+pub fn ckpt_bytes(model_bytes: u64) -> f64 {
+    model_bytes as f64 * CKPT_STATE_FACTOR
+}
+
+/// Simulates one checkpoint write of `bytes` as a DRAM→SSD flow and
+/// returns its duration. `ssd_gbps` is the topology's SSD tier bandwidth
+/// when it has one ([`DEFAULT_CKPT_SSD_GBPS`] otherwise). Deterministic
+/// and observation-free: the committed run clock advances by this amount
+/// whether or not a trace is being recorded.
+///
+/// # Panics
+///
+/// Panics when `bytes` is not positive and finite or a bandwidth is not
+/// positive (caller bug).
+pub fn simulate_ckpt_write(bytes: f64, ssd_gbps: Option<f64>) -> SimTime {
+    let ssd = ssd_gbps.unwrap_or(DEFAULT_CKPT_SSD_GBPS);
+    assert!(ssd > 0.0, "SSD bandwidth must be positive");
+    let mut net = FlowNetwork::new();
+    let dram = net.add_link("ckpt-dram", CKPT_DRAM_GBPS * 1e9);
+    let ssd = net.add_link("ckpt-ssd", ssd * 1e9);
+    net.start_flow(vec![dram, ssd], bytes, 0, 0);
+    let (t, _) = net
+        .next_completion()
+        .expect("a just-started flow always has a completion time");
+    t
+}
+
+/// Records a committed checkpoint write into the trace and DAG: a span on
+/// the `ckpt-ssd` lane, `ckpt.*` counters, and a DAG window of its own —
+/// the write starts at the last recorded step boundary, occupies
+/// `ckpt-ssd` for `dur`, and closes with a new boundary of the same kind,
+/// so the analyzer attributes the window 100 % to the `ckpt` class.
+///
+/// No-op when the run recorded no step boundary (systems without a DAG):
+/// there is no anchor to attach the write to, and nothing to attribute.
+pub fn record_ckpt_write(obs: &Obs, step: u64, bytes: f64, dur: SimTime) {
+    let (local, cluster) = obs.with_dag(|dag| {
+        (
+            dag.boundaries().last().copied(),
+            dag.cluster_boundaries().last().copied(),
+        )
+    });
+    // Cluster boundaries supersede local ones in analysis; anchor on
+    // whichever kind the run is using.
+    let Some((start, head)) = cluster.or(local) else {
+        return;
+    };
+    let end = start + dur.as_nanos();
+    let name = format!("ckpt-write s{step}");
+    let sid = obs.dag_open(
+        "flow",
+        name.clone(),
+        ResourceId::Link("ckpt-ssd".to_string()),
+        start,
+        vec![DagDep::after_end(head, 0, "ckpt")],
+    );
+    obs.dag_close(sid, end);
+    if cluster.is_some() {
+        obs.dag_cluster_boundary(end, sid);
+    } else {
+        obs.dag_boundary(end, sid);
+    }
+    obs.span(
+        Lane::Link("ckpt-ssd".to_string()),
+        "ckpt",
+        name,
+        start,
+        end,
+        vec![
+            ("bytes", AttrValue::F64(bytes)),
+            ("step", AttrValue::U64(step)),
+        ],
+    );
+    obs.counter_add("ckpt.writes", 1.0);
+    obs.counter_add("ckpt.bytes", bytes);
+    obs.counter_add("ckpt.ns", dur.as_nanos() as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobius_obs::ResourceClass;
+
+    #[test]
+    fn write_cost_is_bottlenecked_by_the_ssd() {
+        // 2 GB at 2 GB/s SSD (slower than 12.8 GB/s DRAM): 1 s.
+        let t = simulate_ckpt_write(2.0e9, None);
+        assert_eq!(t, SimTime::from_secs(1));
+        // A faster SSD tier shortens it proportionally.
+        let t = simulate_ckpt_write(2.0e9, Some(4.0));
+        assert_eq!(t, SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn state_factor_covers_master_weights_and_moments() {
+        assert_eq!(ckpt_bytes(1_000), 6_000.0);
+    }
+
+    #[test]
+    fn recorded_write_forms_its_own_attribution_window() {
+        let obs = Obs::new();
+        // A minimal one-step DAG: one compute node ending at the boundary.
+        let g = obs.dag_open("compute", "bwd", ResourceId::Gpu(0), 0, vec![]);
+        obs.dag_close(g, 1_000);
+        obs.dag_boundary(1_000, g);
+
+        record_ckpt_write(&obs, 0, 2.0e9, SimTime::from_nanos(500));
+
+        let analysis = obs.analyze().unwrap();
+        assert_eq!(analysis.steps.len(), 2, "step window + ckpt window");
+        assert_eq!(analysis.total_ns, 1_500);
+        let ckpt_win = &analysis.steps[1];
+        assert_eq!(
+            ckpt_win.class_blame.get(ResourceClass::Ckpt.label()),
+            Some(&500)
+        );
+        // Zeroing the ckpt class removes exactly the write from the total.
+        assert_eq!(
+            analysis.whatif_total_ns.get(ResourceClass::Ckpt.label()),
+            Some(&1_000)
+        );
+    }
+
+    #[test]
+    fn recording_without_a_boundary_is_a_no_op() {
+        let obs = Obs::new();
+        record_ckpt_write(&obs, 0, 1.0e9, SimTime::from_nanos(100));
+        assert_eq!(obs.dag_len(), 0);
+        assert_eq!(obs.counter("ckpt.writes"), 0.0);
+    }
+}

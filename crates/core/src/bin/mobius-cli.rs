@@ -14,23 +14,33 @@
 //! `--metrics-out FILE` writes the metrics registry as JSON; `report`
 //! prints the metrics in human-readable form.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mobius::obs::Obs;
 use mobius::sim::{FaultSchedule, SimTime};
-use mobius::{ClusterConfig, FineTuner, ResiliencePolicy, RunError, System};
+use mobius::{
+    run_checkpointed, CheckpointOpts, CkptRunError, ClusterConfig, FineTuner, ResiliencePolicy,
+    RunError, RunOutcome, RunSinks, System,
+};
 use mobius_model::{GptConfig, Model};
 use mobius_pipeline::{evaluate_analytic, render_gantt, MemoryMode, PipelineConfig};
 use mobius_topology::{GpuSpec, Topology};
 
 /// What went wrong, classed for the exit code: bad usage exits 2, OOM 3,
-/// scheduling errors 4, unrecovered faults 5, anything else 1.
+/// scheduling errors 4, unrecovered faults 5, an injected crash 6, a
+/// checkpoint store problem 7, anything else 1.
 #[derive(Debug)]
 enum CliError {
     /// The invocation itself is wrong (unknown flag, bad value).
     Usage(String),
     /// A typed error from the library.
     Run(RunError),
+    /// A deterministic `crash:`/`crashat:` fault terminated the run.
+    Crash(String),
+    /// The checkpoint store failed: unreadable, corrupt with no valid
+    /// fallback, or unwritable.
+    Ckpt(String),
     /// I/O and other environmental failures.
     Other(String),
 }
@@ -42,6 +52,8 @@ impl CliError {
             CliError::Run(RunError::OutOfMemory(_)) => 3,
             CliError::Run(RunError::Schedule(_)) => 4,
             CliError::Run(RunError::Fault(_)) => 5,
+            CliError::Crash(_) => 6,
+            CliError::Ckpt(_) => 7,
             CliError::Run(_) | CliError::Other(_) => 1,
         }
     }
@@ -50,8 +62,24 @@ impl CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Other(msg) => write!(f, "{msg}"),
+            CliError::Usage(msg)
+            | CliError::Crash(msg)
+            | CliError::Ckpt(msg)
+            | CliError::Other(msg) => write!(f, "{msg}"),
             CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CkptRunError> for CliError {
+    fn from(e: CkptRunError) -> Self {
+        match e {
+            CkptRunError::Run(e) => CliError::Run(e),
+            CkptRunError::Ckpt(e) => CliError::Ckpt(e.to_string()),
+            CkptRunError::Sink { path, msg } => {
+                CliError::Other(format!("writing {}: {msg}", path.display()))
+            }
+            CkptRunError::Analyze(msg) => CliError::Other(msg),
         }
     }
 }
@@ -71,7 +99,13 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // A deterministic injected crash is a scheduled outcome, not a
+            // malfunction — no "error:" prefix.
+            if matches!(e, CliError::Crash(_)) {
+                eprintln!("{e}");
+            } else {
+                eprintln!("error: {e}");
+            }
             if matches!(e, CliError::Usage(_)) {
                 eprintln!("{USAGE}");
             }
@@ -86,10 +120,14 @@ usage:
   mobius-cli step    --model <..> --topo <..> --system <mobius|gpipe|ds-pipe|ds-hetero|zero-offload>
                      [--trace-out FILE] [--metrics-out FILE] [--analyze-out FILE] [--timeline]
                      [--faults SPEC] [--seed N] [--recover]
+                     [--steps N] [--checkpoint-out DIR] [--checkpoint-every K]
+                     [--checkpoint-keep J] [--resume DIR] [--crash-corrupt]
   mobius-cli report  --model <..> --topo <..> --system <..>
   mobius-cli compare --model <..> --topo <..>
   mobius-cli cluster --model <..> --topo <..> --servers N [--nic-gbps G] [--switch-gbps S]
                      [--system <mobius|ds-hetero>] [--trace-out FILE] [--analyze-out FILE]
+                     [--steps N] [--checkpoint-out DIR] [--checkpoint-every K]
+                     [--checkpoint-keep J] [--resume DIR] [--crash-corrupt]
   mobius-cli analyze --trace-in FILE [--analyze-out FILE]
 topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
 cluster scales the server out N ways: Mobius runs one pipeline replica per
@@ -102,9 +140,19 @@ add --strict to re-check every schedule and trace against the paper's constraint
 --analyze-out prints the attribution table and writes it as deterministic JSON
 --faults injects a deterministic fault schedule; SPEC is comma-separated
   clauses (times in ms): degrade:<link>:<factor>:<t0>:<t1>  slow:<gpu>:<factor>:<t0>:<t1>
-  stall:<t>:<dur>  gpufail:<gpu>:<t>  random:<n>   (--seed resolves random:<n>)
+  stall:<t>:<dur>  gpufail:<gpu>:<t>  crash:<step>  crashat:<t_ms>  random:<n>
+  (--seed resolves random:<n>)
 --recover enables elastic replan + the OOM degradation ladder
-exit codes: 0 ok, 1 other, 2 usage, 3 OOM, 4 scheduling, 5 unrecovered fault";
+--steps runs a multi-step checkpointed run; --checkpoint-out DIR persists a
+  rotated (--checkpoint-keep, default 3) checkpoint every --checkpoint-every
+  steps; --resume DIR restores the newest valid checkpoint (falling back past
+  corrupt ones) and continues; a crash:<step>/crashat:<t_ms> fault terminates
+  the run with exit 6 after persisting the checkpoint (--crash-corrupt
+  deliberately corrupts that dying write, for recovery testing); the
+  concatenated --trace-out/--metrics-out/--analyze-out chunks of a crashed
+  run plus its resume are byte-identical to an uninterrupted run
+exit codes: 0 ok, 1 other, 2 usage, 3 OOM, 4 scheduling, 5 unrecovered fault,
+  6 injected crash, 7 checkpoint store failure";
 
 /// Flags that consume the following token as their value.
 const VALUE_FLAGS: &[&str] = &[
@@ -122,10 +170,21 @@ const VALUE_FLAGS: &[&str] = &[
     "--servers",
     "--nic-gbps",
     "--switch-gbps",
+    "--steps",
+    "--checkpoint-out",
+    "--checkpoint-every",
+    "--checkpoint-keep",
+    "--resume",
 ];
 
 /// Flags that stand alone.
-const BOOL_FLAGS: &[&str] = &["--strict", "--strict-validation", "--timeline", "--recover"];
+const BOOL_FLAGS: &[&str] = &[
+    "--strict",
+    "--strict-validation",
+    "--timeline",
+    "--recover",
+    "--crash-corrupt",
+];
 
 /// Horizon over which `random:<n>` fault clauses are spread. Generous
 /// enough to cover any single simulated step of the Table 3 models.
@@ -188,6 +247,17 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "plan" => plan(tuner, &topo),
         "step" => {
             let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
+            if wants_checkpointing(args) {
+                return checkpointed_run(
+                    tuner.system(system),
+                    args,
+                    RunSinks {
+                        trace_out: flag(args, "--trace-out").map(PathBuf::from),
+                        metrics_out: flag(args, "--metrics-out").map(PathBuf::from),
+                        analyze_out: flag(args, "--analyze-out").map(PathBuf::from),
+                    },
+                );
+            }
             let timeline = args.iter().any(|a| a == "--timeline");
             step(
                 tuner.system(system),
@@ -231,6 +301,17 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 }
                 cfg = cfg.switch_gbps(gbps);
             }
+            if wants_checkpointing(args) {
+                return checkpointed_run(
+                    tuner.system(system).cluster(cfg),
+                    args,
+                    RunSinks {
+                        trace_out: flag(args, "--trace-out").map(PathBuf::from),
+                        metrics_out: None,
+                        analyze_out: flag(args, "--analyze-out").map(PathBuf::from),
+                    },
+                );
+            }
             cluster_step(
                 tuner.system(system).cluster(cfg),
                 flag(args, "--trace-out").as_deref(),
@@ -246,6 +327,120 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Any checkpoint-driver flag routes `step`/`cluster` through the chunked
+/// multi-step driver; without them the legacy single-step path runs
+/// byte-unchanged.
+fn wants_checkpointing(args: &[String]) -> bool {
+    [
+        "--steps",
+        "--checkpoint-out",
+        "--checkpoint-every",
+        "--resume",
+    ]
+    .iter()
+    .any(|f| args.iter().any(|a| a == f))
+}
+
+/// The checkpointed multi-step path of `step` and `cluster`.
+fn checkpointed_run(tuner: FineTuner, args: &[String], sinks: RunSinks) -> Result<(), CliError> {
+    let steps: u64 = flag(args, "--steps")
+        .map(|s| s.parse().map_err(|_| usage("bad --steps")))
+        .transpose()?
+        .unwrap_or(1);
+    if steps == 0 {
+        return Err(usage("bad --steps: need at least one step"));
+    }
+    let every: u64 = flag(args, "--checkpoint-every")
+        .map(|s| s.parse().map_err(|_| usage("bad --checkpoint-every")))
+        .transpose()?
+        .unwrap_or(0);
+    let keep: usize = flag(args, "--checkpoint-keep")
+        .map(|s| s.parse().map_err(|_| usage("bad --checkpoint-keep")))
+        .transpose()?
+        .unwrap_or(mobius::ckpt::DEFAULT_KEEP);
+    if keep == 0 {
+        return Err(usage("bad --checkpoint-keep: must keep at least one"));
+    }
+    let opts = CheckpointOpts {
+        steps,
+        every,
+        keep,
+        dir: flag(args, "--checkpoint-out").map(PathBuf::from),
+        resume: flag(args, "--resume").map(PathBuf::from),
+        crash_corrupt: args.iter().any(|a| a == "--crash-corrupt"),
+    };
+
+    let summary = match run_checkpointed(&tuner, &opts, &sinks)? {
+        RunOutcome::Completed(s) => s,
+        RunOutcome::Crashed {
+            at,
+            lost_steps,
+            ckpt_path,
+            summary,
+        } => {
+            let mut msg = format!(
+                "run terminated by injected crash at {at}: {} step(s) committed, \
+                 {lost_steps} step(s) since the last checkpoint lost",
+                summary.state.step,
+            );
+            match ckpt_path {
+                Some(p) => {
+                    let tag = if opts.crash_corrupt {
+                        " (deliberately corrupted)"
+                    } else {
+                        ""
+                    };
+                    msg.push_str(&format!(
+                        "; checkpoint {}{tag} — resume with --resume {}",
+                        p.display(),
+                        p.parent().unwrap_or(&p).display(),
+                    ));
+                }
+                None => msg.push_str("; no --checkpoint-out directory, nothing persisted"),
+            }
+            return Err(CliError::Crash(msg));
+        }
+    };
+
+    if let Some(p) = &summary.resumed_from {
+        println!(
+            "resumed from {} at step {}",
+            p.display(),
+            summary.start_step
+        );
+        for (path, why) in &summary.fallbacks {
+            println!("  skipped corrupt checkpoint {}: {why}", path.display());
+        }
+    }
+    let label = summary
+        .last_report
+        .as_ref()
+        .map_or("run", |r| r.system.label());
+    println!(
+        "{label}: {} step(s) committed  run clock {}  ${:.4} total",
+        summary.state.step,
+        SimTime::from_nanos(summary.state.cum_ns),
+        summary.state.price_usd,
+    );
+    if summary.ckpt_writes > 0 || summary.ckpt_overhead_ns > 0 {
+        println!(
+            "checkpoints: {} written, simulated write overhead {}",
+            summary.ckpt_writes,
+            SimTime::from_nanos(summary.ckpt_overhead_ns),
+        );
+    }
+    for (label, path) in [
+        ("Chrome trace chunks", &sinks.trace_out),
+        ("metrics chunks", &sinks.metrics_out),
+        ("attribution chunks", &sinks.analyze_out),
+    ] {
+        if let Some(p) = path {
+            println!("wrote {label} to {}", p.display());
+        }
+    }
+    Ok(())
 }
 
 fn parse_model(s: &str) -> Result<Model, CliError> {
@@ -760,6 +955,128 @@ mod tests {
         .unwrap();
         // 1-server clusters are valid and fall back to the plain path.
         run(&argv(&["cluster", "--model", "gpt2", "--servers", "1"])).unwrap();
+    }
+
+    #[test]
+    fn crash_and_ckpt_errors_have_their_own_exit_codes() {
+        assert_eq!(CliError::Crash("boom".into()).exit_code(), 6);
+        assert_eq!(CliError::Ckpt("bad store".into()).exit_code(), 7);
+    }
+
+    #[test]
+    fn checkpoint_flag_validation() {
+        let err = run(&argv(&["step", "--model", "gpt2", "--steps", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run(&argv(&["step", "--model", "gpt2", "--steps", "x"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--steps",
+            "2",
+            "--checkpoint-every",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--steps",
+            "2",
+            "--checkpoint-keep",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn injected_crash_maps_to_exit_6_and_resume_needs_a_valid_store() {
+        let dir = std::env::temp_dir().join(format!("mobius-cli-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let err = run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--steps",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-out",
+            &dir_s,
+            "--faults",
+            "crash:3",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+
+        // Trash every checkpoint: resume must fail with the store code.
+        for e in std::fs::read_dir(&dir).unwrap() {
+            std::fs::write(e.unwrap().path(), b"\x00\xff garbage").unwrap();
+        }
+        let err = run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--steps",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+            &dir_s,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+        assert!(err.to_string().contains("no valid checkpoint"), "{err}");
+
+        // Resuming from a directory that does not exist is also a store
+        // error, not a panic.
+        let err = run(&argv(&[
+            "step",
+            "--model",
+            "gpt2",
+            "--steps",
+            "2",
+            "--resume",
+            "/nonexistent/mobius-ckpts",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_trace_input_is_a_typed_error_never_a_panic() {
+        let dir = std::env::temp_dir();
+        let p = dir.join(format!("mobius-cli-garbage-{}.json", std::process::id()));
+        let p_s = p.to_str().unwrap().to_string();
+
+        // Binary junk: not UTF-8 JSON.
+        std::fs::write(&p, [0u8, 159, 146, 150, 255, 0, 7]).unwrap();
+        let err = run(&argv(&["analyze", "--trace-in", &p_s])).unwrap_err();
+        assert!(matches!(err, CliError::Other(_)), "{err}");
+
+        // Truncated JSON document.
+        std::fs::write(&p, "{\"traceEvents\":[{\"name\":\"x\"").unwrap();
+        let err = run(&argv(&["analyze", "--trace-in", &p_s])).unwrap_err();
+        assert!(matches!(err, CliError::Other(_)), "{err}");
+        assert!(err.to_string().contains("bad JSON"), "{err}");
+
+        // Valid JSON with no mobiusDag key.
+        std::fs::write(&p, "{\"traceEvents\":[]}").unwrap();
+        let err = run(&argv(&["analyze", "--trace-in", &p_s])).unwrap_err();
+        assert!(err.to_string().contains("mobiusDag"), "{err}");
+
+        // mobiusDag present but structurally wrong.
+        std::fs::write(&p, "{\"mobiusDag\":{\"nodes\":42}}").unwrap();
+        let err = run(&argv(&["analyze", "--trace-in", &p_s])).unwrap_err();
+        assert!(matches!(err, CliError::Other(_)), "{err}");
+
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

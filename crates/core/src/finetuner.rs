@@ -240,6 +240,7 @@ pub struct FineTuner {
     faults: Option<FaultSchedule>,
     resilience: ResiliencePolicy,
     cluster: Option<ClusterConfig>,
+    warm_start: Option<Vec<usize>>,
 }
 
 impl FineTuner {
@@ -270,6 +271,7 @@ impl FineTuner {
             faults: None,
             resilience: ResiliencePolicy::default(),
             cluster: None,
+            warm_start: None,
         }
     }
 
@@ -370,6 +372,18 @@ impl FineTuner {
         self
     }
 
+    /// Seeds the next Mobius plan with a previous run's partition stage
+    /// sizes (the warm-start path of the elastic replan, PR 6's
+    /// incremental re-solve). Used when resuming a checkpointed run onto
+    /// a changed topology: the committed segmentation names no GPU
+    /// indices, so it projects onto the new topology unchanged and the
+    /// MIP prunes from that near-optimal bound instead of solving cold.
+    /// Non-MIP partition algorithms ignore the hint.
+    pub fn warm_start(mut self, sizes: Vec<usize>) -> Self {
+        self.warm_start = Some(sizes);
+        self
+    }
+
     /// Scales the run out to a multi-server cluster ([`ClusterConfig`]).
     /// Mobius and DeepSpeed-hetero have cluster paths; other systems
     /// reject a multi-server config with [`RunError::Unsupported`].
@@ -391,6 +405,48 @@ impl FineTuner {
 
     fn microbatches_on(&self, topo: &Topology) -> usize {
         self.num_microbatches.unwrap_or(topo.num_gpus())
+    }
+
+    /// FNV fingerprint of the run configuration, identifying which
+    /// checkpoints belong to this run. Covers the model, system,
+    /// batching, planning knobs, cluster shape, and the *non-crash* fault
+    /// events; deliberately excludes the topology (so a checkpointed run
+    /// can resume onto a shrunken server) and the crash events themselves
+    /// (so a resume may drop or keep its crash clauses).
+    pub fn config_fingerprint(&self) -> u64 {
+        let faults = self
+            .faults
+            .as_ref()
+            .map(FaultSchedule::without_crashes)
+            .filter(|f| !f.is_empty());
+        mobius_ckpt::fingerprint_of([
+            self.model.config().name.clone(),
+            format!("mbs={}", self.mbs()),
+            format!("m={:?}", self.num_microbatches),
+            format!("sys={}", self.system.label()),
+            format!("part={:?}", self.partition_algo),
+            format!("map={:?}", self.mapping_algo),
+            format!("budget={:?}", self.mip_budget),
+            format!("eff={:?}", self.efficiency),
+            format!(
+                "pf={} pl={} sv={}",
+                self.prefetch, self.prioritized_loads, self.strict_validation
+            ),
+            format!("faults={:?}", faults.as_ref().map(|f| f.events())),
+            format!("cluster={:?}", self.cluster),
+        ])
+    }
+
+    pub(crate) fn topo_ref(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub(crate) fn system_sel(&self) -> System {
+        self.system
+    }
+
+    pub(crate) fn faults_cloned(&self) -> FaultSchedule {
+        self.faults.clone().unwrap_or_default()
     }
 
     /// The attached fault schedule, if any and non-empty. An empty schedule
@@ -451,16 +507,11 @@ impl FineTuner {
     ///
     /// Returns [`RunError::OutOfMemory`] when no feasible partition exists.
     pub fn plan(&self) -> Result<Plan, RunError> {
-        self.plan_on(&self.topo, self.partition_algo)
+        self.plan_on_warm(&self.topo, self.partition_algo, self.warm_start.clone())
     }
 
     /// [`FineTuner::plan`] generalised over the topology and partition
-    /// algorithm — the elastic-replan and degradation-ladder entry point.
-    fn plan_on(&self, topo: &Topology, algo: PartitionAlgo) -> Result<Plan, RunError> {
-        self.plan_on_warm(topo, algo, None)
-    }
-
-    /// [`FineTuner::plan_on`] with an optional warm-start incumbent: the
+    /// algorithm, with an optional warm-start incumbent: the
     /// partition that was running before a topology change. A layer
     /// segmentation names no GPU indices, so the previous sizes project
     /// onto the survivor topology unchanged; the MIP re-costs them under
@@ -610,8 +661,10 @@ impl FineTuner {
         let mut faults = self.faults.clone().unwrap_or_default();
         let mut algo = self.partition_algo;
         // The partition running when a GPU fails warm-starts the replan's
-        // MIP on the survivor topology (incremental re-solve).
-        let mut warm: Option<Vec<usize>> = None;
+        // MIP on the survivor topology (incremental re-solve). A resumed
+        // checkpointed run seeds the same slot with its committed
+        // partition via [`FineTuner::warm_start`].
+        let mut warm: Option<Vec<usize>> = self.warm_start.clone();
 
         loop {
             let mut planned_sizes: Option<Vec<usize>> = None;

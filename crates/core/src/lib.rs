@@ -42,11 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod error;
 mod finetuner;
 pub mod pricing;
 mod resilience;
 
+pub use checkpoint::{
+    run_checkpointed, CheckpointOpts, CkptRunError, RunOutcome, RunSinks, RunSummary,
+};
 pub use error::{OomCause, RunError};
 pub use finetuner::{
     ClusterConfig, ClusterStepReport, FineTuner, Overheads, Plan, ServerStepBreakdown, StepReport,
@@ -55,6 +59,7 @@ pub use finetuner::{
 pub use resilience::{Degradation, DegradeAction, ResiliencePolicy};
 
 // Re-export the sub-crates so downstream users need a single dependency.
+pub use mobius_ckpt as ckpt;
 pub use mobius_cluster as cluster;
 pub use mobius_mapping as mapping;
 pub use mobius_mip as mip;

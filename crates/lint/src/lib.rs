@@ -19,6 +19,7 @@
 //! | D003 | NaN-unsafe float ordering: `.partial_cmp(` call sites (use `f64::total_cmp` or `Ord::cmp`) |
 //! | D004 | unseeded randomness (`thread_rng`, `rand::random`) |
 //! | D005 | crate-layering violations: `crates/*/Cargo.toml` checked against [`LAYERING`], the machine-readable DESIGN.md dependency-flow table |
+//! | D006 | `.unwrap()`/`.expect(` on an I/O result in non-test library code (crate `src/`, `#[cfg(test)]` regions exempt); I/O failures must surface as typed errors |
 //!
 //! ## Suppressions
 //!
@@ -67,6 +68,7 @@ pub const LAYERING: &[(&str, &[&str])] = &[
     ("mobius-tensor", &[]),
     ("mobius-lint", &[]),
     ("mobius-sim", &["mobius-obs"]),
+    ("mobius-ckpt", &["mobius-sim", "mobius-obs"]),
     ("mobius-topology", &["mobius-sim", "mobius-obs"]),
     ("mobius-mip", &["mobius-obs"]),
     (
@@ -111,6 +113,7 @@ pub const LAYERING: &[(&str, &[&str])] = &[
     (
         "mobius",
         &[
+            "mobius-ckpt",
             "mobius-tensor",
             "mobius-cluster",
             "mobius-zero",
@@ -128,6 +131,7 @@ pub const LAYERING: &[(&str, &[&str])] = &[
         "mobius-bench",
         &[
             "mobius",
+            "mobius-ckpt",
             "mobius-tensor",
             "mobius-cluster",
             "mobius-zero",
@@ -159,6 +163,8 @@ pub enum Code {
     D004,
     /// Crate-layering violation.
     D005,
+    /// Panicking I/O (`.unwrap()`/`.expect(`) in non-test library code.
+    D006,
 }
 
 impl Code {
@@ -172,10 +178,11 @@ impl Code {
             Code::D003 => "D003",
             Code::D004 => "D004",
             Code::D005 => "D005",
+            Code::D006 => "D006",
         }
     }
 
-    /// Parses a suppressible code (`D001`–`D005`). `D000` and unknown
+    /// Parses a suppressible code (`D001`–`D006`). `D000` and unknown
     /// spellings return `None`.
     #[must_use]
     pub fn parse_allowable(s: &str) -> Option<Code> {
@@ -185,6 +192,7 @@ impl Code {
             "D003" => Some(Code::D003),
             "D004" => Some(Code::D004),
             "D005" => Some(Code::D005),
+            "D006" => Some(Code::D006),
             _ => None,
         }
     }
@@ -462,7 +470,7 @@ fn parse_directive(comment: &str) -> Directive {
     };
     let Some(code) = Code::parse_allowable(code_str) else {
         return Directive::Malformed(format!(
-            "`allow({code_str})` names no suppressible lint (D001–D005)"
+            "`allow({code_str})` names no suppressible lint (D001–D006)"
         ));
     };
     let Some(tail) = tail else {
@@ -548,6 +556,61 @@ fn find_bounded(hay: &str, pat: &str) -> Option<usize> {
     None
 }
 
+/// Substrings identifying an I/O call site for D006. Deliberately prefix
+/// patterns (`fs::read` also matches `fs::read_to_string`/`fs::read_dir`).
+const IO_PATTERNS: &[&str] = &[
+    "fs::read",
+    "fs::write",
+    "fs::create_dir",
+    "fs::remove",
+    "fs::rename",
+    "fs::copy",
+    "File::open",
+    "File::create",
+    "read_to_string",
+    "read_dir",
+    "io::stdin",
+    "io::stdout",
+    "write_all",
+    "read_exact",
+];
+
+/// Per-line mask of `#[cfg(test)]`-gated regions, brace-tracked on the
+/// cleaned text (so the attribute inside a string does not arm it). D006
+/// does not apply there: tests panicking on I/O is idiomatic.
+fn test_region_mask(cleaned_text: &str) -> Vec<bool> {
+    let lines: Vec<&str> = cleaned_text.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i64;
+    let mut armed = false; // attribute seen, opening brace not yet
+    for (i, line) in lines.iter().enumerate() {
+        let scan_from;
+        if depth == 0 && !armed {
+            match line.find("#[cfg(test)]") {
+                Some(p) => {
+                    armed = true;
+                    scan_from = p;
+                }
+                None => continue,
+            }
+        } else {
+            scan_from = 0;
+        }
+        mask[i] = true;
+        for c in line[scan_from..].chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    armed = false;
+                }
+                '}' => depth = (depth - 1).max(0),
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
 const ITER_METHODS: &[&str] = &[
     ".iter()",
     ".iter_mut()",
@@ -616,6 +679,13 @@ pub fn scan_rust_source(path: &str, src: &str, d002_applies: bool) -> Vec<Findin
             }
         }
     }
+
+    let clines: Vec<&str> = cleaned.text.lines().collect();
+    let in_test = if d002_applies {
+        test_region_mask(&cleaned.text)
+    } else {
+        Vec::new()
+    };
 
     let mut raw: Vec<Finding> = Vec::new();
     {
@@ -699,6 +769,27 @@ pub fn scan_rust_source(path: &str, src: &str, d002_applies: bool) -> Vec<Findin
                             Code::D002,
                             line_no,
                             format!("order-dependent iteration over hash collection `{name}`"),
+                        );
+                    }
+                }
+                // D006: panicking on an I/O result in non-test library
+                // code. The I/O call is looked for on the same line, or —
+                // for builder-chained call sites — on the line above when
+                // this line is a continuation (starts with `.`).
+                if !in_test.get(idx).copied().unwrap_or(false)
+                    && (line.contains(".unwrap()") || line.contains(".expect("))
+                {
+                    let io_here = IO_PATTERNS.iter().any(|p| line.contains(p));
+                    let io_chained = line.trim_start().starts_with('.')
+                        && idx > 0
+                        && IO_PATTERNS.iter().any(|p| clines[idx - 1].contains(p));
+                    if io_here || io_chained {
+                        push(
+                            Code::D006,
+                            line_no,
+                            "`.unwrap()`/`.expect(` on an I/O result in non-test code; \
+                             surface a typed error instead — I/O can fail at any time"
+                                .to_string(),
                         );
                     }
                 }

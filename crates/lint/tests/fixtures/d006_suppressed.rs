@@ -1,0 +1,12 @@
+//! D006 fixture: every panicking I/O call site carries a reasoned allow.
+
+use std::fs;
+
+pub fn same_line() -> String {
+    // mobius-lint: allow(D006, reason = "embedded asset; absent only on a broken build")
+    fs::read_to_string("config.json").unwrap()
+}
+
+pub fn with_expect(path: &str) {
+    fs::write(path, "data").expect("scratch dir is created two lines above"); // mobius-lint: allow(D006, reason = "scratch dir created by this fn")
+}

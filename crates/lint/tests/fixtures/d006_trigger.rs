@@ -1,0 +1,27 @@
+//! D006 fixture: panicking on I/O results in non-test library code.
+
+use std::fs;
+use std::io::Write;
+
+pub fn same_line() -> String {
+    fs::read_to_string("config.json").unwrap()
+}
+
+pub fn with_expect(path: &str) {
+    fs::write(path, "data").expect("write failed");
+}
+
+pub fn chained(path: &str) {
+    let mut f = std::fs::File::create(path)
+        .unwrap();
+    f.write_all(b"payload").unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: tests panicking on I/O is idiomatic, not a finding.
+    #[test]
+    fn reads() {
+        let _ = std::fs::read_to_string("fixture.txt").unwrap();
+    }
+}

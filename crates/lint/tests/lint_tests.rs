@@ -1,4 +1,4 @@
-//! Fixture-driven integration tests: every lint D001–D005 is demonstrated
+//! Fixture-driven integration tests: every lint D001–D006 is demonstrated
 //! by a triggering fixture and silenced by its suppressed twin, reason-less
 //! allows are themselves findings, and the live workspace self-lints clean.
 
@@ -127,6 +127,41 @@ fn d005_trigger_fires_and_suppressed_twin_is_clean() {
         include_str!("fixtures/d005_suppressed.toml"),
     );
     assert_eq!(clean, Vec::new());
+}
+
+#[test]
+fn d006_trigger_fires_and_suppressed_twin_is_clean() {
+    let hits = scan_fixture("d006_trigger.rs", include_str!("fixtures/d006_trigger.rs"));
+    let d006: Vec<_> = hits.iter().filter(|f| f.code == Code::D006).collect();
+    assert!(
+        d006.len() >= 4,
+        "same-line unwrap, expect, chained unwrap, and write_all must all fire: {hits:?}"
+    );
+    assert!(
+        d006.iter().all(|f| f.line < 20),
+        "the #[cfg(test)] region must be exempt: {d006:?}"
+    );
+    let clean = scan_fixture(
+        "d006_suppressed.rs",
+        include_str!("fixtures/d006_suppressed.rs"),
+    );
+    assert_eq!(clean, Vec::new());
+}
+
+#[test]
+fn d006_does_not_apply_outside_simulation_affecting_code() {
+    let src = include_str!("fixtures/d006_trigger.rs");
+    let in_tests = scan_rust_source("tests/some_test.rs", src, false);
+    assert_eq!(codes(&in_tests), Vec::new());
+}
+
+#[test]
+fn d006_ignores_non_io_unwraps() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n";
+    assert_eq!(
+        codes(&scan_rust_source("crates/x/src/lib.rs", src, true)),
+        Vec::new()
+    );
 }
 
 #[test]

@@ -178,11 +178,12 @@ pub struct Analysis {
 }
 
 /// Hardware classes eligible for what-if zeroing, in report order.
-const WHATIF_CLASSES: [ResourceClass; 4] = [
+const WHATIF_CLASSES: [ResourceClass; 5] = [
     ResourceClass::Gpu,
     ResourceClass::Pcie,
     ResourceClass::Nic,
     ResourceClass::Ssd,
+    ResourceClass::Ckpt,
 ];
 
 /// Verifies the critical-path identity on every recorded step without

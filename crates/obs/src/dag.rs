@@ -46,6 +46,8 @@ pub enum ResourceClass {
     Switch,
     /// SSD read/write channels.
     Ssd,
+    /// Checkpoint persistence (DRAM staging + SSD write of run state).
+    Ckpt,
     /// An uninstrumented mirror replica.
     Server,
     /// Zero-width synchronization.
@@ -61,6 +63,7 @@ impl ResourceClass {
             ResourceClass::Nic => "nic",
             ResourceClass::Switch => "switch",
             ResourceClass::Ssd => "ssd",
+            ResourceClass::Ckpt => "ckpt",
             ResourceClass::Server => "server",
             ResourceClass::Sync => "sync",
         }
@@ -68,17 +71,19 @@ impl ResourceClass {
 }
 
 impl ResourceId {
-    /// Classifies the resource. Links classify by label: NICs contain
-    /// `nic`, the switch contains `switch` or `fabric`, SSD channels start
-    /// with `ssd`, everything else is PCIe-side (lanes, root complexes,
-    /// NVLink).
+    /// Classifies the resource. Links classify by label: checkpoint
+    /// channels start with `ckpt`, NICs contain `nic`, the switch contains
+    /// `switch` or `fabric`, SSD channels start with `ssd`, everything
+    /// else is PCIe-side (lanes, root complexes, NVLink).
     pub fn class(&self) -> ResourceClass {
         match self {
             ResourceId::Gpu(_) => ResourceClass::Gpu,
             ResourceId::Server(_) => ResourceClass::Server,
             ResourceId::Barrier(_) => ResourceClass::Sync,
             ResourceId::Link(l) => {
-                if l.contains("nic") {
+                if l.starts_with("ckpt") {
+                    ResourceClass::Ckpt
+                } else if l.contains("nic") {
                     ResourceClass::Nic
                 } else if l.contains("switch") || l.contains("fabric") {
                     ResourceClass::Switch
@@ -460,6 +465,8 @@ mod tests {
             ("srv2-nic-tx", ResourceClass::Nic),
             ("switch-fabric", ResourceClass::Switch),
             ("ssd-read", ResourceClass::Ssd),
+            ("ckpt-ssd", ResourceClass::Ckpt),
+            ("ckpt-dram", ResourceClass::Ckpt),
         ] {
             assert_eq!(
                 ResourceId::Link(label.into()).class(),

@@ -951,6 +951,13 @@ impl Executor<'_> {
                 }
                 self.abort = Some(FaultAbort::GpuFailed { gpu, at: now });
             }
+            // Process crashes are consumed by the checkpointing driver
+            // above the executor (which strips them before handing the
+            // schedule down); inside a step they are inert so a crash-only
+            // schedule leaves in-step timings untouched.
+            FaultKind::Crash { .. } => {
+                self.fault_stats.injected -= 1;
+            }
         }
     }
 

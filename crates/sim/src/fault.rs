@@ -18,6 +18,31 @@ use rand::{Rng, SeedableRng};
 
 use crate::SimTime;
 
+/// Where a deterministic process crash fires during a multi-step run.
+///
+/// Crashes are *process-level* faults: they are consumed by the
+/// checkpointing driver above the executor (which persists a checkpoint
+/// and terminates with a distinct exit code), never by the in-step
+/// simulation. The two addressing modes mirror the checkpoint driver's
+/// two clocks: the step counter and accumulated simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// Crash before executing 0-indexed step `k` of the run.
+    Step(u64),
+    /// Crash once accumulated simulated time (including checkpoint write
+    /// overhead) exceeds this instant; the step in flight is lost.
+    Time(SimTime),
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPoint::Step(k) => write!(f, "step {k}"),
+            CrashPoint::Time(t) => write!(f, "t={t}"),
+        }
+    }
+}
+
 /// What kind of hardware fault fires.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
@@ -54,6 +79,13 @@ pub enum FaultKind {
     GpuFail {
         /// The failed GPU.
         gpu: usize,
+    },
+    /// The whole process dies at a deterministic [`CrashPoint`]. Inert
+    /// inside the step executor; the checkpointing driver strips these
+    /// from the schedule it hands down and honours them itself.
+    Crash {
+        /// Where the crash fires.
+        point: CrashPoint,
     },
 }
 
@@ -189,6 +221,68 @@ impl FaultSchedule {
         self
     }
 
+    /// Crashes the process before executing 0-indexed step `step` of a
+    /// checkpointed multi-step run.
+    pub fn crash_at_step(mut self, step: u64) -> Self {
+        self.push(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Crash {
+                point: CrashPoint::Step(step),
+            },
+        });
+        self
+    }
+
+    /// Crashes the process once accumulated simulated time exceeds `at`.
+    pub fn crash_at(mut self, at: SimTime) -> Self {
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::Crash {
+                point: CrashPoint::Time(at),
+            },
+        });
+        self
+    }
+
+    /// The scheduled crash points in canonical firing order: all
+    /// step-addressed crashes ascending, then all time-addressed crashes
+    /// ascending. The checkpoint persists per-kind cursors into this
+    /// order so a resumed run skips crashes that already fired.
+    pub fn crash_points(&self) -> Vec<CrashPoint> {
+        let mut pts: Vec<CrashPoint> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { point } => Some(point),
+                _ => None,
+            })
+            .collect();
+        pts.sort();
+        pts
+    }
+
+    /// Whether the schedule contains any process crash.
+    pub fn has_crash(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Crash { .. }))
+    }
+
+    /// A copy with every process crash removed — what the checkpointing
+    /// driver hands to the step executor, so a crash-only spec leaves the
+    /// in-step simulation bit-identical to an unfaulted run.
+    pub fn without_crashes(&self) -> Self {
+        FaultSchedule {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !matches!(e.kind, FaultKind::Crash { .. }))
+                .cloned()
+                .collect(),
+            ..self.clone()
+        }
+    }
+
     /// Overrides the watchdog timeout.
     pub fn with_watchdog(mut self, timeout: SimTime) -> Self {
         self.watchdog_timeout = timeout;
@@ -280,6 +374,8 @@ impl FaultSchedule {
     /// slow:<gpu>:<factor>:<t0_ms>:<t1_ms>
     /// stall:<t_ms>:<dur_ms>
     /// gpufail:<gpu>:<t_ms>
+    /// crash:<step>
+    /// crashat:<t_ms>
     /// random:<n>
     /// ```
     ///
@@ -326,6 +422,8 @@ impl FaultSchedule {
                 }
                 ["stall", t, dur] => out = out.stall(ms(t)?, ms(dur)?),
                 ["gpufail", gpu, t] => out = out.fail_gpu(num(gpu, "gpu")?, ms(t)?),
+                ["crash", step] => out = out.crash_at_step(num(step, "step")?),
+                ["crashat", t] => out = out.crash_at(ms(t)?),
                 ["random", n] => {
                     for ev in
                         FaultSchedule::random(seed, num(n, "count")?, num_gpus, horizon).events
@@ -336,7 +434,7 @@ impl FaultSchedule {
                 _ => {
                     return Err(format!(
                         "unknown fault clause `{clause}` \
-                         (try degrade:/slow:/stall:/gpufail:/random:)"
+                         (try degrade:/slow:/stall:/gpufail:/crash:/crashat:/random:)"
                     ))
                 }
             }
@@ -398,6 +496,8 @@ pub struct FaultStats {
     pub retries: u64,
     /// Transfers abandoned after exhausting the retry budget.
     pub aborted_transfers: u64,
+    /// Injected process crashes honoured by the checkpointing driver.
+    pub crashes: u64,
 }
 
 impl FaultStats {
@@ -411,6 +511,7 @@ impl FaultStats {
         self.gpu_failures += other.gpu_failures;
         self.retries += other.retries;
         self.aborted_transfers += other.aborted_transfers;
+        self.crashes += other.crashes;
     }
 }
 
@@ -500,6 +601,52 @@ mod tests {
             e.kind,
             FaultKind::LinkDegrade { .. } | FaultKind::TransferStall { .. }
         )));
+    }
+
+    #[test]
+    fn crash_points_fire_in_canonical_order() {
+        let s = FaultSchedule::new()
+            .crash_at(SimTime::from_millis(50))
+            .crash_at_step(7)
+            .crash_at_step(2)
+            .crash_at(SimTime::from_millis(10));
+        assert!(s.has_crash());
+        assert_eq!(
+            s.crash_points(),
+            vec![
+                CrashPoint::Step(2),
+                CrashPoint::Step(7),
+                CrashPoint::Time(SimTime::from_millis(10)),
+                CrashPoint::Time(SimTime::from_millis(50)),
+            ]
+        );
+    }
+
+    #[test]
+    fn without_crashes_strips_only_crashes() {
+        let s = FaultSchedule::new()
+            .crash_at_step(3)
+            .stall(SimTime::from_millis(2), SimTime::from_millis(1))
+            .fail_gpu(1, SimTime::from_millis(4));
+        let stripped = s.without_crashes();
+        assert!(!stripped.has_crash());
+        assert_eq!(stripped.events().len(), 2);
+        assert_eq!(stripped.watchdog_timeout, s.watchdog_timeout);
+    }
+
+    #[test]
+    fn parse_accepts_crash_clauses() {
+        let h = SimTime::from_secs(1);
+        let s = FaultSchedule::parse("crash:4,crashat:12.5", 0, 4, h).unwrap();
+        assert_eq!(
+            s.crash_points(),
+            vec![
+                CrashPoint::Step(4),
+                CrashPoint::Time(SimTime::from_nanos(12_500_000)),
+            ]
+        );
+        assert!(FaultSchedule::parse("crash:x", 0, 4, h).is_err());
+        assert!(FaultSchedule::parse("crashat:-1", 0, 4, h).is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod validate;
 
 pub use engine::{Engine, EngineStats, ReferenceEngine};
 pub use fault::{
-    FaultAbort, FaultEvent, FaultKind, FaultSchedule, FaultStats, DEFAULT_MAX_RETRIES,
+    CrashPoint, FaultAbort, FaultEvent, FaultKind, FaultSchedule, FaultStats, DEFAULT_MAX_RETRIES,
     DEFAULT_RETRY_BASE, DEFAULT_WATCHDOG,
 };
 pub use flow::{FlowId, FlowNetwork, FlowRecord, FlowSetStats, LinkId, Priority};

@@ -54,6 +54,16 @@ cmp "$tmpdir/c.json" "$tmpdir/d.json" || {
   exit 1
 }
 
+echo "==> recovery determinism gate (two seeded runs, byte-identical JSON)"
+cargo run --release -q -p mobius-bench --bin recovery -- \
+  --quick --seed 42 --json "$tmpdir/r1.json" >/dev/null 2>&1
+cargo run --release -q -p mobius-bench --bin recovery -- \
+  --quick --seed 42 --json "$tmpdir/r2.json" >/dev/null 2>&1
+cmp "$tmpdir/r1.json" "$tmpdir/r2.json" || {
+  echo "FAIL: identically seeded recovery runs diverged" >&2
+  exit 1
+}
+
 echo "==> solver-perf determinism gate (two seeded runs, byte-identical JSON)"
 cargo run --release -q -p mobius-bench --bin solver_perf -- \
   --deterministic --seed 42 --json "$tmpdir/e.json" >/dev/null 2>&1
@@ -93,6 +103,82 @@ echo "==> attribution golden gate (vs tests/golden/attribution_cli.json)"
 # UPDATE_GOLDEN=1 after an intentional engine or executor change.
 cmp "$tmpdir/attr_a.json" tests/golden/attribution_cli.json || {
   echo "FAIL: attribution JSON drifted from the committed golden" >&2
+  echo "      (rerun with UPDATE_GOLDEN=1 to regenerate after intentional changes)" >&2
+  exit 1
+}
+
+echo "==> crash-resume gate (single server: stitched chunks byte-identical)"
+# The checkpoint subsystem's headline contract: crash a run at step 5,
+# resume it, and the concatenated trace/metrics/analysis chunks of the two
+# segments equal the uninterrupted reference's bytes exactly.
+ck="$tmpdir/ckpt"
+mkdir -p "$ck"
+run_cli() { cargo run --release -q -p mobius --bin mobius-cli -- "$@"; }
+run_cli step --model gpt2 --topo 2+2 --system mobius \
+  --steps 6 --checkpoint-every 2 --checkpoint-out "$ck/ref" \
+  --trace-out "$ck/ref-trace.json" --metrics-out "$ck/ref-metrics.json" \
+  --analyze-out "$ck/ref-analyze.json" >/dev/null
+rc=0
+run_cli step --model gpt2 --topo 2+2 --system mobius --faults crash:5 \
+  --steps 6 --checkpoint-every 2 --checkpoint-out "$ck/crash" \
+  --trace-out "$ck/c1-trace.json" --metrics-out "$ck/c1-metrics.json" \
+  --analyze-out "$ck/c1-analyze.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 6 ] || {
+  echo "FAIL: injected crash must exit 6, got $rc" >&2
+  exit 1
+}
+run_cli step --model gpt2 --topo 2+2 --system mobius --faults crash:5 \
+  --steps 6 --checkpoint-every 2 --checkpoint-out "$ck/crash" \
+  --resume "$ck/crash" \
+  --trace-out "$ck/c2-trace.json" --metrics-out "$ck/c2-metrics.json" \
+  --analyze-out "$ck/c2-analyze.json" >/dev/null
+for s in trace metrics analyze; do
+  cat "$ck/c1-$s.json" "$ck/c2-$s.json" > "$ck/stitched-$s.json"
+  cmp "$ck/stitched-$s.json" "$ck/ref-$s.json" || {
+    echo "FAIL: crash+resume $s chunks diverged from the uninterrupted run" >&2
+    exit 1
+  }
+done
+
+echo "==> crash-resume gate (cluster: stitched chunks byte-identical)"
+run_cli cluster --model gpt2 --topo 2+2 --servers 2 --system mobius \
+  --steps 4 --checkpoint-every 2 --checkpoint-out "$ck/cl_ref" \
+  --trace-out "$ck/clref-trace.json" --analyze-out "$ck/clref-analyze.json" \
+  >/dev/null
+rc=0
+run_cli cluster --model gpt2 --topo 2+2 --servers 2 --system mobius \
+  --faults crash:3 --steps 4 --checkpoint-every 2 --checkpoint-out "$ck/cl" \
+  --trace-out "$ck/cl1-trace.json" --analyze-out "$ck/cl1-analyze.json" \
+  >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 6 ] || {
+  echo "FAIL: injected cluster crash must exit 6, got $rc" >&2
+  exit 1
+}
+run_cli cluster --model gpt2 --topo 2+2 --servers 2 --system mobius \
+  --faults crash:3 --steps 4 --checkpoint-every 2 --checkpoint-out "$ck/cl" \
+  --resume "$ck/cl" \
+  --trace-out "$ck/cl2-trace.json" --analyze-out "$ck/cl2-analyze.json" \
+  >/dev/null
+for s in trace analyze; do
+  cat "$ck/cl1-$s.json" "$ck/cl2-$s.json" > "$ck/clstitched-$s.json"
+  cmp "$ck/clstitched-$s.json" "$ck/clref-$s.json" || {
+    echo "FAIL: cluster crash+resume $s chunks diverged" >&2
+    exit 1
+  }
+done
+
+newest_ckpt="$ck/ref/$(ls "$ck/ref" | sort | tail -1)"
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+  echo "==> regenerating tests/golden/checkpoint_gpt2.mckpt (UPDATE_GOLDEN=1)"
+  cp "$newest_ckpt" tests/golden/checkpoint_gpt2.mckpt
+fi
+
+echo "==> checkpoint golden gate (vs tests/golden/checkpoint_gpt2.mckpt)"
+# The committed checkpoint pins the on-disk wire format bytes — magic,
+# version, payload field order, float formatting, FNV checksum. Regenerate
+# with UPDATE_GOLDEN=1 after an intentional format or executor change.
+cmp "$newest_ckpt" tests/golden/checkpoint_gpt2.mckpt || {
+  echo "FAIL: checkpoint bytes drifted from the committed golden" >&2
   echo "      (rerun with UPDATE_GOLDEN=1 to regenerate after intentional changes)" >&2
   exit 1
 }

@@ -8,8 +8,8 @@ fn every_experiment_regenerates() {
     let all = experiments::run_all(true);
     assert_eq!(
         all.len(),
-        23,
-        "15 paper tables/figures plus 8 extension tables"
+        25,
+        "15 paper tables/figures plus 10 extension tables"
     );
     for e in &all {
         assert!(!e.columns.is_empty(), "{} has no columns", e.id);
