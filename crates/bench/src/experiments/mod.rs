@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod attribution;
+pub mod baseline;
 pub mod baselines;
 pub mod fig02;
 pub mod fig04;
@@ -21,6 +22,7 @@ pub mod recovery;
 pub mod resilience;
 pub mod scaling;
 pub mod schedules;
+pub mod serve;
 pub mod solver_perf;
 pub mod steady_state;
 pub mod table1;

@@ -31,62 +31,13 @@ use mobius_pipeline::{mip_partition_opts, MipPartitionOpts, PartitionOutcome, Pi
 use mobius_profiler::{LayerProfile, ModelProfile};
 use mobius_sim::{Engine, FlowNetwork, ReferenceEngine, SimTime};
 
+use super::baseline::{check_counters, counters_experiment, Metric, Rule};
 use crate::{commodity, Experiment};
 
 const GB: u64 = 1 << 30;
 
 /// Stable id of the counter table the baseline gate diffs.
 pub const COUNTERS_ID: &str = "solver-counters";
-
-// ---------------------------------------------------------------------------
-// Direction-aware counter rules
-// ---------------------------------------------------------------------------
-
-/// How a counter is compared against the committed baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Rule {
-    /// Must match the baseline byte-for-byte (checksums, event totals).
-    Exact,
-    /// Work counter: regression = growing past the baseline.
-    AtMost,
-    /// Reuse counter: regression = shrinking below the baseline.
-    AtLeast,
-}
-
-impl Rule {
-    fn label(self) -> &'static str {
-        match self {
-            Rule::Exact => "exact",
-            Rule::AtMost => "<= baseline",
-            Rule::AtLeast => ">= baseline",
-        }
-    }
-
-    fn from_label(s: &str) -> Option<Rule> {
-        match s {
-            "exact" => Some(Rule::Exact),
-            "<= baseline" => Some(Rule::AtMost),
-            ">= baseline" => Some(Rule::AtLeast),
-            _ => None,
-        }
-    }
-}
-
-struct Metric {
-    name: &'static str,
-    value: String,
-    rule: Rule,
-}
-
-impl Metric {
-    fn new(name: &'static str, value: impl ToString, rule: Rule) -> Self {
-        Metric {
-            name,
-            value: value.to_string(),
-            rule,
-        }
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Workload 1: warm vs cold replan (the resilience workload)
@@ -566,21 +517,14 @@ pub fn deterministic(seed: u64) -> Vec<Experiment> {
     let engine = engine_events(seed, &mut metrics);
     let flows = flow_cache(&mut metrics);
 
-    let mut counters = Experiment::new(
+    let mut counters = counters_experiment(
         COUNTERS_ID,
         "Deterministic solver/engine work counters (the committed baseline)",
         "extension (no paper counterpart): the unit-of-work ledger \
          BENCH_solver.json pins; verify.sh fails when a counter regresses \
          against its direction rule",
-    )
-    .columns(["metric", "value", "rule"]);
-    for m in &metrics {
-        counters.push_row([
-            m.name.to_string(),
-            m.value.clone(),
-            m.rule.label().to_string(),
-        ]);
-    }
+        &metrics,
+    );
     counters.note("regenerate the baseline with `UPDATE_BASELINE=1 scripts/verify.sh`");
     vec![replan, engine, flows, counters]
 }
@@ -592,55 +536,6 @@ pub fn run(quick: bool, seed: u64) -> Vec<Experiment> {
     all
 }
 
-/// Extracts the row cells of the experiment `id` from a JSON report
-/// produced by [`crate::render_json_report`]. Hand-rolled on purpose: the
-/// workspace `serde` is a marker shim and the report grammar is our own
-/// emitter's, whose strings (counter names, integers, hex digests) never
-/// contain escapes.
-fn extract_rows(doc: &str, id: &str) -> Option<Vec<Vec<String>>> {
-    let start = doc.find(&format!("\"id\":\"{id}\""))?;
-    let key = "\"rows\":[";
-    let mut i = start + doc[start..].find(key)? + key.len();
-    let bytes = doc.as_bytes();
-    let mut rows = Vec::new();
-    let mut cur = Vec::new();
-    let mut depth = 1usize;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'[' => {
-                depth += 1;
-                cur = Vec::new();
-            }
-            b']' => {
-                depth -= 1;
-                if depth == 1 {
-                    rows.push(std::mem::take(&mut cur));
-                }
-                if depth == 0 {
-                    return Some(rows);
-                }
-            }
-            b'"' => {
-                let end = i + 1 + doc[i + 1..].find('"')?;
-                cur.push(doc[i + 1..end].to_string());
-                i = end;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
-/// One line of the delta table the check prints.
-struct Delta {
-    metric: String,
-    baseline: String,
-    current: String,
-    rule: Rule,
-    ok: bool,
-}
-
 /// Re-runs the deterministic workloads and diffs the counter table against
 /// `baseline_json` (the committed `BENCH_solver.json`).
 ///
@@ -650,88 +545,20 @@ struct Delta {
 /// direction rule or the tables disagree structurally; returns it as `Ok`
 /// when everything holds.
 pub fn check_against(baseline_json: &str, seed: u64) -> Result<String, String> {
-    let baseline = extract_rows(baseline_json, COUNTERS_ID).ok_or_else(|| {
-        format!("baseline has no `{COUNTERS_ID}` experiment — regenerate with UPDATE_BASELINE=1")
-    })?;
     let fresh = deterministic(seed);
     let doc = crate::render_json_report(fresh.iter());
-    let current = extract_rows(&doc, COUNTERS_ID).expect("we just rendered it");
-
-    let lookup: std::collections::BTreeMap<&str, (&str, &str)> = baseline
-        .iter()
-        .filter(|r| r.len() == 3)
-        .map(|r| (r[0].as_str(), (r[1].as_str(), r[2].as_str())))
-        .collect();
-
-    let mut deltas = Vec::new();
-    let mut failed = false;
-    for row in &current {
-        let (metric, value, rule_label) = (&row[0], &row[1], &row[2]);
-        let rule = Rule::from_label(rule_label).expect("rules are emitted by this module");
-        let (ok, base) = match lookup.get(metric.as_str()) {
-            None => (false, "<missing>".to_string()),
-            Some((bv, brule)) => {
-                let structural = *brule == rule_label.as_str();
-                let holds = match rule {
-                    Rule::Exact => value == bv,
-                    Rule::AtMost | Rule::AtLeast => {
-                        match (value.parse::<f64>(), bv.parse::<f64>()) {
-                            (Ok(c), Ok(b)) if rule == Rule::AtMost => c <= b,
-                            (Ok(c), Ok(b)) => c >= b,
-                            _ => false,
-                        }
-                    }
-                };
-                (structural && holds, (*bv).to_string())
-            }
-        };
-        failed |= !ok;
-        deltas.push(Delta {
-            metric: metric.clone(),
-            baseline: base,
-            current: value.clone(),
-            rule,
-            ok,
-        });
-    }
-    for r in &baseline {
-        if r.len() == 3 && !current.iter().any(|c| c[0] == r[0]) {
-            failed = true;
-            deltas.push(Delta {
-                metric: r[0].clone(),
-                baseline: r[1].clone(),
-                current: "<missing>".to_string(),
-                rule: Rule::from_label(&r[2]).unwrap_or(Rule::Exact),
-                ok: false,
-            });
-        }
-    }
-
-    let mut table = Experiment::new(
+    check_counters(
+        baseline_json,
+        &doc,
+        COUNTERS_ID,
         "solver-baseline-delta",
         "Counter delta vs committed BENCH_solver.json",
-        "internal check table",
     )
-    .columns(["metric", "baseline", "current", "rule", "status"]);
-    for d in &deltas {
-        table.push_row([
-            d.metric.clone(),
-            d.baseline.clone(),
-            d.current.clone(),
-            d.rule.label().to_string(),
-            if d.ok { "ok" } else { "REGRESSED" }.to_string(),
-        ]);
-    }
-    let rendered = table.render_text();
-    if failed {
-        Err(rendered)
-    } else {
-        Ok(rendered)
-    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::baseline::extract_rows;
     use super::*;
     use crate::render_json_report;
 

@@ -184,22 +184,6 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Fingerprints a run configuration from its descriptor strings (model,
-/// system, schedule, …), separator-framed so `["ab","c"]` and `["a","bc"]`
-/// hash differently.
-pub fn fingerprint_of<I, S>(parts: I) -> u64
-where
-    I: IntoIterator<Item = S>,
-    S: AsRef<str>,
-{
-    let mut buf = String::new();
-    for p in parts {
-        buf.push_str(p.as_ref());
-        buf.push('\u{1f}');
-    }
-    fnv64(buf.as_bytes())
-}
-
 /// The committed state of a checkpointed multi-step run: everything the
 /// driver needs to continue a run bit-identically after a process crash.
 ///
@@ -613,12 +597,6 @@ mod tests {
         assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
-    }
-
-    #[test]
-    fn fingerprint_is_framing_sensitive() {
-        assert_ne!(fingerprint_of(["ab", "c"]), fingerprint_of(["a", "bc"]));
-        assert_eq!(fingerprint_of(["a", "b"]), fingerprint_of(["a", "b"]));
     }
 
     #[test]

@@ -151,6 +151,10 @@ pub struct Plan {
     pub contention_degree: f64,
     /// Planning overheads.
     pub overheads: Overheads,
+    /// Partition-search accounting (evaluated/pruned leaves, warm-start
+    /// flag). `None` for non-MIP partition algorithms, whose closed-form
+    /// splits evaluate no search tree.
+    pub search: Option<mobius_mip::SearchStats>,
 }
 
 /// The measurements of one simulated training step.
@@ -232,6 +236,7 @@ pub struct FineTuner {
     microbatch_size: Option<usize>,
     num_microbatches: Option<usize>,
     mip_budget: Duration,
+    unbudgeted_solver: bool,
     efficiency: Option<f64>,
     prefetch: bool,
     prioritized_loads: bool,
@@ -263,6 +268,7 @@ impl FineTuner {
             microbatch_size: None,
             num_microbatches: None,
             mip_budget: Duration::from_secs(3),
+            unbudgeted_solver: false,
             efficiency: None,
             prefetch: true,
             prioritized_loads: true,
@@ -315,6 +321,19 @@ impl FineTuner {
     /// Wall-clock budget for the MIP partition search.
     pub fn mip_budget_ms(mut self, ms: u64) -> Self {
         self.mip_budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Runs the MIP partition search to completion with no wall-clock
+    /// budget, making its node counts (and therefore [`Plan::search`])
+    /// byte-deterministic across machines. `mobius-serve` plans this way so
+    /// cached plans are reproducible. A `Duration::ZERO` budget is *not*
+    /// equivalent: the wall-timer truncation it triggers is machine-speed
+    /// dependent. Deliberately excluded from [`Self::config_fingerprint`] —
+    /// it changes how long the search runs, never which run the config
+    /// names (and the hashed bytes must stay stable for old checkpoints).
+    pub fn unbudgeted_solver(mut self, on: bool) -> Self {
+        self.unbudgeted_solver = on;
         self
     }
 
@@ -419,7 +438,7 @@ impl FineTuner {
             .as_ref()
             .map(FaultSchedule::without_crashes)
             .filter(|f| !f.is_empty());
-        mobius_ckpt::fingerprint_of([
+        crate::fingerprint::fingerprint_of([
             self.model.config().name.clone(),
             format!("mbs={}", self.mbs()),
             format!("m={:?}", self.num_microbatches),
@@ -530,10 +549,12 @@ impl FineTuner {
         let solve_timer = WallTimer::start();
         let outcome = match algo {
             PartitionAlgo::Mip => {
-                let opts = mobius_pipeline::MipPartitionOpts {
-                    budget: Some(self.mip_budget),
-                    warm_start,
+                let budget = if self.unbudgeted_solver {
+                    None
+                } else {
+                    Some(self.mip_budget)
                 };
+                let opts = mobius_pipeline::MipPartitionOpts { budget, warm_start };
                 mobius_pipeline::mip_partition_opts(&profile, n, &cfg, &opts, self.obs.as_ref())?
             }
             other => partition_model(other, &profile, n, &cfg)?,
@@ -575,6 +596,7 @@ impl FineTuner {
                 mip_solve_wall,
                 cross_map_wall,
             },
+            search: outcome.stats,
         })
     }
 

@@ -1,0 +1,107 @@
+//! Configuration fingerprinting shared by checkpointing and the plan cache.
+//!
+//! Extracted from `mobius-ckpt` so that the checkpoint store (run identity,
+//! [`crate::FineTuner::config_fingerprint`]) and the `mobius-serve` plan
+//! cache (content-addressed keys) frame content the same way. The byte
+//! layout is frozen: each part is terminated by the ASCII unit separator
+//! (`\u{1f}`) and the concatenation is FNV-1a-64 hashed — changing either
+//! would orphan every committed checkpoint (the golden
+//! `tests/golden/checkpoint_gpt2.mckpt` pins the bytes).
+
+use mobius_ckpt::fnv64;
+use mobius_model::Model;
+use mobius_topology::Topology;
+
+/// Fingerprints a configuration from its descriptor strings (model,
+/// system, schedule, …), separator-framed so `["ab","c"]` and `["a","bc"]`
+/// hash differently.
+pub fn fingerprint_of<I, S>(parts: I) -> u64
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut buf = String::new();
+    for p in parts {
+        buf.push_str(p.as_ref());
+        buf.push('\u{1f}');
+    }
+    fnv64(buf.as_bytes())
+}
+
+/// Content fingerprint of a model: preset name plus every shape field that
+/// determines its layer graph, so two presets that happen to share a name
+/// but differ in shape (or vice versa) address different cache entries.
+pub fn model_fingerprint(model: &Model) -> u64 {
+    let c = model.config();
+    fingerprint_of([
+        c.name.clone(),
+        format!("vocab={}", c.vocab),
+        format!("hidden={}", c.hidden),
+        format!("heads={}", c.heads),
+        format!("blocks={}", c.num_layers),
+        format!("seq={}", c.seq_len),
+        format!("mbs={}", c.default_microbatch),
+        format!("layers={}", model.num_layers()),
+    ])
+}
+
+/// Content fingerprint of a topology: the name (which encodes GPU model,
+/// count, and root-complex grouping) plus the planner-visible capacity
+/// figures, so a cache entry never survives a hardware change that would
+/// alter the plan.
+pub fn topology_fingerprint(topo: &Topology) -> u64 {
+    fingerprint_of([
+        topo.name(),
+        format!("gpus={}", topo.num_gpus()),
+        format!("groups={:?}", topo.groups()),
+        format!("mem={}", topo.gpu_mem_bytes()),
+        format!("bw={:?}", topo.avg_gpu_bandwidth()),
+        format!("ssd={:?}", topo.ssd_gbps()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobius_model::GptConfig;
+    use mobius_topology::{GpuSpec, Topology};
+
+    #[test]
+    fn fingerprint_is_framing_sensitive() {
+        assert_ne!(fingerprint_of(["ab", "c"]), fingerprint_of(["a", "bc"]));
+        assert_eq!(fingerprint_of(["a", "b"]), fingerprint_of(["a", "b"]));
+    }
+
+    #[test]
+    fn fingerprint_bytes_match_the_ckpt_era_layout() {
+        // The exact value `mobius_ckpt::fingerprint_of` produced before the
+        // extraction: separator-framed FNV-1a 64. Pinning it here keeps the
+        // checkpoint wire format honest across the move.
+        assert_eq!(
+            fingerprint_of(["a", "b"]),
+            fnv64("a\u{1f}b\u{1f}".as_bytes())
+        );
+    }
+
+    #[test]
+    fn model_fingerprint_separates_presets() {
+        let gpt2 = Model::from_config(&GptConfig::gpt2_small());
+        let gpt3b = Model::from_config(&GptConfig::gpt_3b());
+        assert_ne!(model_fingerprint(&gpt2), model_fingerprint(&gpt3b));
+        assert_eq!(model_fingerprint(&gpt2), model_fingerprint(&gpt2));
+    }
+
+    #[test]
+    fn topology_fingerprint_separates_shapes_and_hardware() {
+        let t22 = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]);
+        let t13 = Topology::commodity(GpuSpec::rtx3090ti(), &[1, 3]);
+        let dc = Topology::data_center(GpuSpec::v100(), 4);
+        assert_ne!(topology_fingerprint(&t22), topology_fingerprint(&t13));
+        assert_ne!(topology_fingerprint(&t22), topology_fingerprint(&dc));
+        assert_eq!(topology_fingerprint(&t22), topology_fingerprint(&t22));
+        // SSD offload changes planner-visible capacity, so it must change
+        // the fingerprint too.
+        let ssd = Topology::commodity(GpuSpec::rtx3090ti(), &[2, 2]).with_ssd_offload(3.0);
+        assert_ne!(topology_fingerprint(&t22), topology_fingerprint(&ssd));
+    }
+}

@@ -45,6 +45,7 @@
 mod checkpoint;
 mod error;
 mod finetuner;
+pub mod fingerprint;
 pub mod pricing;
 mod resilience;
 

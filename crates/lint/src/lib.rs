@@ -128,9 +128,28 @@ pub const LAYERING: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "mobius-serve",
+        &[
+            "mobius",
+            "mobius-ckpt",
+            "mobius-tensor",
+            "mobius-cluster",
+            "mobius-zero",
+            "mobius-pipeline",
+            "mobius-mip",
+            "mobius-mapping",
+            "mobius-profiler",
+            "mobius-model",
+            "mobius-topology",
+            "mobius-sim",
+            "mobius-obs",
+        ],
+    ),
+    (
         "mobius-bench",
         &[
             "mobius",
+            "mobius-serve",
             "mobius-ckpt",
             "mobius-tensor",
             "mobius-cluster",

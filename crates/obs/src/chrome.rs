@@ -17,6 +17,7 @@ const PID_GPU: u32 = 1;
 const PID_LINK: u32 = 2;
 const PID_SOLVER: u32 = 3;
 const PID_SERVER: u32 = 4;
+const PID_SERVE: u32 = 5;
 
 /// Nanoseconds to a microsecond JSON number with ns precision.
 fn us(ns: u64) -> String {
@@ -105,6 +106,11 @@ pub fn export(log: &EventLog, dag: &DagLog) -> String {
             events.push(meta(PID_SERVER, *s, "thread_name", &format!("server{s}")));
         }
     }
+    // Likewise the serve process appears only when the planning service
+    // recorded request spans, keeping all pre-serve goldens byte-identical.
+    if log.events().iter().any(|e| e.lane == Lane::Serve) {
+        events.push(meta(PID_SERVE, 0, "process_name", "serve"));
+    }
 
     for e in log.events() {
         let (pid, tid) = match &e.lane {
@@ -113,6 +119,7 @@ pub fn export(log: &EventLog, dag: &DagLog) -> String {
             Lane::Link(name) => (PID_LINK, link_tids[name.as_str()]),
             Lane::Solver => (PID_SOLVER, 0),
             Lane::Server(s) => (PID_SERVER, *s as u32),
+            Lane::Serve => (PID_SERVE, 0),
         };
         let mut fields = vec![
             ("name", json::string(&e.name)),
@@ -267,5 +274,26 @@ mod tests {
         assert!(out.contains("\"args\":{\"name\":\"servers\"}"));
         assert!(out.contains("\"name\":\"server2\""));
         assert!(out.contains("\"name\":\"allreduce\""));
+    }
+
+    #[test]
+    fn serve_lane_gets_its_own_process_only_when_present() {
+        // Pre-serve traces must stay byte-identical: no "serve" process
+        // without a Serve event.
+        let out = export(&sample_log(), &DagLog::new());
+        assert!(!out.contains("\"args\":{\"name\":\"serve\"}"));
+
+        let mut log = sample_log();
+        log.push(Event {
+            lane: Lane::Serve,
+            cat: "serve",
+            name: "plan".into(),
+            start_ns: 5_000,
+            dur_ns: Some(50_000),
+            attrs: vec![("cache", AttrValue::Str("hit".into()))],
+        });
+        let out = export(&log, &DagLog::new());
+        assert!(out.contains("\"args\":{\"name\":\"serve\"}"));
+        assert!(out.contains("\"args\":{\"cache\":\"hit\"}"));
     }
 }

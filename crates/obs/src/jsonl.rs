@@ -12,6 +12,7 @@ fn lane_str(lane: &Lane) -> String {
         Lane::Link(name) => format!("link:{name}"),
         Lane::Solver => "solver".to_string(),
         Lane::Server(s) => format!("server{s}"),
+        Lane::Serve => "serve".to_string(),
     }
 }
 
@@ -99,5 +100,6 @@ mod tests {
         assert_eq!(lane_str(&Lane::Link("rc0-h2d".into())), "link:rc0-h2d");
         assert_eq!(lane_str(&Lane::Server(3)), "server3");
         assert_eq!(lane_str(&Lane::Solver), "solver");
+        assert_eq!(lane_str(&Lane::Serve), "serve");
     }
 }

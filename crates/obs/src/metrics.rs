@@ -119,6 +119,13 @@ impl Histogram {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th-percentile estimate — `quantile(0.999)`, for tail-latency
+    /// reporting. Like every quantile it saturates at the last bucket edge
+    /// when the mass lands in the overflow bucket.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 /// Named counters, gauges, and histograms, each kept in sorted order so
@@ -230,6 +237,30 @@ mod tests {
         h.record(100.0); // overflow bucket
         assert_eq!(h.p50(), 2.0); // clamped to last edge
         assert_eq!(h.quantile(-1.0), 2.0); // p clamps into [0,1]
+    }
+
+    #[test]
+    fn p999_interpolates_and_saturates_in_the_top_bucket() {
+        // Enough mass in the overflow bucket that the 99.9th percentile
+        // lands there: it must saturate at the last edge (the largest value
+        // the layout can resolve) rather than extrapolate past it.
+        let mut h = Histogram::new(&[10.0, 100.0, 1_000.0]);
+        for _ in 0..900 {
+            h.record(5.0);
+        }
+        for _ in 0..100 {
+            h.record(1_000_000.0);
+        }
+        assert_eq!(h.p999(), 1_000.0);
+
+        // With all mass in the first bucket the accessor interpolates like
+        // its siblings: 0.999 of the way through [0, 10).
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        for _ in 0..1_000 {
+            h.record(5.0);
+        }
+        assert!((h.p999() - 9.99).abs() < 1e-9);
+        assert!(h.p999() >= h.p99());
     }
 
     #[test]

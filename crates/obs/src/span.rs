@@ -20,6 +20,10 @@ pub enum Lane {
     /// A server's timeline in a multi-server cluster run: gradient-bucket
     /// synchronization spans and replica step boundaries.
     Server(usize),
+    /// The planning-service request timeline (`mobius-serve`): one span per
+    /// handled request, stamped with the service's simulated microsecond
+    /// clock (never wall-clock).
+    Serve,
 }
 
 /// A typed attribute value attached to an event.

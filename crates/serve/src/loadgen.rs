@@ -1,0 +1,222 @@
+//! Deterministic closed-loop load generator for the planning service.
+//!
+//! `N` synthetic tenants share one [`Server`]. Each tenant draws targets
+//! from the same catalog of (model, topology, budget) configurations but
+//! ranks them by its own seeded permutation, and ranks are sampled from a
+//! zipfian popularity law — a few configurations dominate, a long tail
+//! recurs rarely, which is exactly the regime a plan cache amortizes.
+//! Closed loop means one outstanding request: a tenant's next request is
+//! issued only after the previous response, so the simulated service clock
+//! advances request by request and the whole run is byte-deterministic for
+//! a given seed.
+
+use mobius_ckpt::fnv64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::server::{ServeConfig, ServeError, Server};
+use crate::ServeStats;
+use mobius_obs::Obs;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Synthetic tenants sharing the service.
+    pub tenants: usize,
+    /// Total requests to issue (round-robin across tenants).
+    pub requests: usize,
+    /// RNG seed; every random choice derives from it.
+    pub seed: u64,
+    /// Plan-cache capacity. Smaller than the catalog forces evictions.
+    pub capacity: usize,
+    /// Zipf exponent of the popularity law (larger = more skewed).
+    pub zipf_s: f64,
+    /// Every `invalidate_every`-th request is an `invalidate` of the
+    /// issuing tenant's favourite configuration; zero disables them.
+    pub invalidate_every: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            tenants: 4,
+            requests: 256,
+            seed: 42,
+            capacity: 6,
+            zipf_s: 1.2,
+            invalidate_every: 64,
+        }
+    }
+}
+
+/// The catalog every tenant draws from: one tractable model across the
+/// commodity topologies the paper evaluates. All solves are unbudgeted
+/// (byte-deterministic), so the catalog sticks to shapes the exact search
+/// finishes quickly on.
+const CATALOG: [(&str, &str, u64); 8] = [
+    ("gpt2", "2+2", 0),
+    ("gpt2", "4", 0),
+    ("gpt2", "1+3", 0),
+    ("gpt2", "2+1", 0),
+    ("gpt2", "3", 0),
+    ("gpt2", "1+2", 0),
+    ("gpt2", "2+2", 100),
+    ("gpt2", "1+1", 0),
+];
+
+/// What one load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Final service counters.
+    pub stats: ServeStats,
+    /// Entries cached when the run ended.
+    pub entries: usize,
+    /// Hit rate over `plan`/`estimate` lookups.
+    pub hit_rate: f64,
+    /// Median simulated service latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile simulated service latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile simulated service latency (µs).
+    pub p999_us: f64,
+    /// FNV-1a 64 checksum over every response line (`\n`-framed) — two
+    /// runs of the same config agree on this iff they agree on every byte.
+    pub response_fnv: u64,
+}
+
+/// Runs the closed loop and reports counters, latency percentiles, and the
+/// response-stream checksum.
+///
+/// # Errors
+///
+/// Propagates any [`ServeError`] — with a well-formed catalog that means a
+/// planner rejection, which would be a bug in the catalog.
+pub fn run_load(cfg: &LoadGenConfig) -> Result<LoadReport, ServeError> {
+    assert!(cfg.tenants > 0, "need at least one tenant");
+    let obs = Obs::new();
+    let mut server = Server::new(ServeConfig {
+        capacity: cfg.capacity,
+        warm_seed: true,
+        obs: Some(obs.clone()),
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Tenant preference: a seeded Fisher-Yates permutation of the catalog,
+    // so tenants agree on *how skewed* popularity is but not on *what* is
+    // popular.
+    let perms: Vec<Vec<usize>> = (0..cfg.tenants)
+        .map(|_| {
+            let mut p: Vec<usize> = (0..CATALOG.len()).collect();
+            for i in (1..p.len()).rev() {
+                let j = rng.gen_range(0..(i + 1));
+                p.swap(i, j);
+            }
+            p
+        })
+        .collect();
+    let zipf = ZipfTable::new(CATALOG.len(), cfg.zipf_s);
+
+    let mut hasher_buf = String::new();
+    for i in 0..cfg.requests {
+        let tenant = i % cfg.tenants;
+        let line = if cfg.invalidate_every > 0 && (i + 1) % cfg.invalidate_every == 0 {
+            // Tenants occasionally redeploy their favourite config.
+            let (model, topo, _) = CATALOG[perms[tenant][0]];
+            format!("invalidate model={model} topo={topo}")
+        } else {
+            let rank = zipf.sample(&mut rng);
+            let (model, topo, budget) = CATALOG[perms[tenant][rank]];
+            let verb = if rng.gen_range(0..4u32) == 0 {
+                "estimate"
+            } else {
+                "plan"
+            };
+            if budget > 0 {
+                format!("{verb} model={model} topo={topo} budget_ms={budget}")
+            } else {
+                format!("{verb} model={model} topo={topo}")
+            }
+        };
+        let resp = server
+            .handle(&line)?
+            .expect("load generator issues no blank lines");
+        hasher_buf.push_str(&resp);
+        hasher_buf.push('\n');
+    }
+
+    let stats = server.stats();
+    let (p50_us, p99_us, p999_us) = obs.with_metrics(|m| {
+        m.histograms()
+            .get("serve.latency_us")
+            .map(|h| (h.p50(), h.p99(), h.p999()))
+            .unwrap_or((0.0, 0.0, 0.0))
+    });
+    Ok(LoadReport {
+        stats,
+        entries: server.cache_len(),
+        hit_rate: stats.hit_rate(),
+        p50_us,
+        p99_us,
+        p999_us,
+        response_fnv: fnv64(hasher_buf.as_bytes()),
+    })
+}
+
+/// Integer-arithmetic zipfian sampler: cumulative weights scaled to `u64`
+/// so sampling never compares accumulated floats (identical across
+/// platforms with identical RNG draws).
+struct ZipfTable {
+    cum: Vec<u64>,
+}
+
+impl ZipfTable {
+    fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        const SCALE: f64 = 1e9;
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for r in 0..n {
+            let w = ((r as f64 + 1.0).powf(-s) * SCALE).round() as u64;
+            total += w.max(1);
+            cum.push(total);
+        }
+        ZipfTable { cum }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().expect("non-empty table");
+        let x = rng.gen_range(0..total);
+        self.cum.partition_point(|&c| c <= x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_table_is_skewed_and_in_range() {
+        let t = ZipfTable::new(8, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..4_000 {
+            let r = t.sample(&mut rng);
+            assert!(r < 8);
+            counts[r] += 1;
+        }
+        // Rank 0 dominates and the tail is non-empty.
+        assert!(counts[0] > counts[7] * 4);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_sampling_is_seed_deterministic() {
+        let t = ZipfTable::new(8, 1.2);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| t.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -80,11 +80,26 @@ if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
     --quick --seed 42 --json BENCH_solver.json >/dev/null
 fi
 
+echo "==> serve determinism gate (two seeded load-generator runs, byte-identical JSON)"
+cargo run --release -q -p mobius-bench --bin serve -- \
+  --seed 42 --json "$tmpdir/s1.json" >/dev/null 2>&1
+cargo run --release -q -p mobius-bench --bin serve -- \
+  --seed 42 --json "$tmpdir/s2.json" >/dev/null 2>&1
+cmp "$tmpdir/s1.json" "$tmpdir/s2.json" || {
+  echo "FAIL: identically seeded serve load-generator runs diverged" >&2
+  exit 1
+}
+
+if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
+  echo "==> regenerating BENCH_serve.json (UPDATE_BASELINE=1)"
+  cp "$tmpdir/s1.json" BENCH_serve.json
+fi
+
 echo "==> attribution determinism gate (two analyzed runs, byte-identical JSON)"
-cargo run --release -q -p mobius --bin mobius-cli -- \
+cargo run --release -q -p mobius-repro --bin mobius-cli -- \
   step --model gpt2 --topo 2+2 --system mobius --strict \
   --analyze-out "$tmpdir/attr_a.json" >/dev/null
-cargo run --release -q -p mobius --bin mobius-cli -- \
+cargo run --release -q -p mobius-repro --bin mobius-cli -- \
   step --model gpt2 --topo 2+2 --system mobius --strict \
   --analyze-out "$tmpdir/attr_b.json" >/dev/null
 cmp "$tmpdir/attr_a.json" "$tmpdir/attr_b.json" || {
@@ -113,7 +128,7 @@ echo "==> crash-resume gate (single server: stitched chunks byte-identical)"
 # segments equal the uninterrupted reference's bytes exactly.
 ck="$tmpdir/ckpt"
 mkdir -p "$ck"
-run_cli() { cargo run --release -q -p mobius --bin mobius-cli -- "$@"; }
+run_cli() { cargo run --release -q -p mobius-repro --bin mobius-cli -- "$@"; }
 run_cli step --model gpt2 --topo 2+2 --system mobius \
   --steps 6 --checkpoint-every 2 --checkpoint-out "$ck/ref" \
   --trace-out "$ck/ref-trace.json" --metrics-out "$ck/ref-metrics.json" \
@@ -191,6 +206,17 @@ echo "==> solver-perf baseline gate (counter diff vs BENCH_solver.json)"
 cargo run --release -q -p mobius-bench --bin solver_perf -- \
   --check BENCH_solver.json --seed 42 || {
   echo "FAIL: solver counters regressed vs BENCH_solver.json" >&2
+  exit 1
+}
+
+echo "==> serve baseline gate (counter diff vs BENCH_serve.json)"
+# Direction-aware: the plan-cache hit rate and warm-seed count may only
+# grow, misses/evictions/latency percentiles may only shrink, and the
+# response-stream checksum must match exactly. Regenerate the committed
+# baseline with UPDATE_BASELINE=1 after intentional changes.
+cargo run --release -q -p mobius-bench --bin serve -- \
+  --check BENCH_serve.json --seed 42 || {
+  echo "FAIL: serve counters regressed vs BENCH_serve.json" >&2
   exit 1
 }
 

@@ -6,6 +6,7 @@
 //! mobius-cli report  --model 15b --topo 2+2 --system mobius
 //! mobius-cli compare --model 15b --topo 2+2
 //! mobius-cli cluster --model 15b --topo 2+2 --servers 4 --nic-gbps 12.5
+//! mobius-cli serve   --script requests.txt [--capacity N]
 //! ```
 //!
 //! Topologies: `4`, `1+3`, `2+2`, `4+4`, … (commodity 3090-Ti groups) or
@@ -29,7 +30,8 @@ use mobius_topology::{GpuSpec, Topology};
 
 /// What went wrong, classed for the exit code: bad usage exits 2, OOM 3,
 /// scheduling errors 4, unrecovered faults 5, an injected crash 6, a
-/// checkpoint store problem 7, anything else 1.
+/// checkpoint store problem 7, a serve protocol/planner failure 8,
+/// anything else 1.
 #[derive(Debug)]
 enum CliError {
     /// The invocation itself is wrong (unknown flag, bad value).
@@ -41,6 +43,9 @@ enum CliError {
     /// The checkpoint store failed: unreadable, corrupt with no valid
     /// fallback, or unwritable.
     Ckpt(String),
+    /// The serve request loop aborted: malformed request line or a
+    /// planner rejection while serving a script.
+    Serve(String),
     /// I/O and other environmental failures.
     Other(String),
 }
@@ -54,6 +59,7 @@ impl CliError {
             CliError::Run(RunError::Fault(_)) => 5,
             CliError::Crash(_) => 6,
             CliError::Ckpt(_) => 7,
+            CliError::Serve(_) => 8,
             CliError::Run(_) | CliError::Other(_) => 1,
         }
     }
@@ -65,6 +71,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg)
             | CliError::Crash(msg)
             | CliError::Ckpt(msg)
+            | CliError::Serve(msg)
             | CliError::Other(msg) => write!(f, "{msg}"),
             CliError::Run(e) => write!(f, "{e}"),
         }
@@ -129,6 +136,7 @@ usage:
                      [--steps N] [--checkpoint-out DIR] [--checkpoint-every K]
                      [--checkpoint-keep J] [--resume DIR] [--crash-corrupt]
   mobius-cli analyze --trace-in FILE [--analyze-out FILE]
+  mobius-cli serve   --script FILE [--capacity N] [--no-warm-seed]
 topology GROUPS like 2+2, 1+3, 4, 4+4 (commodity 3090-Ti); dc = 4xV100 NVLink
 cluster scales the server out N ways: Mobius runs one pipeline replica per
   server with a ring all-reduce over the NICs; ds-hetero shards ZeRO-3
@@ -151,8 +159,13 @@ add --strict to re-check every schedule and trace against the paper's constraint
   deliberately corrupts that dying write, for recovery testing); the
   concatenated --trace-out/--metrics-out/--analyze-out chunks of a crashed
   run plus its resume are byte-identical to an uninterrupted run
+serve runs the planning service one-shot over a request script (one
+  plan/estimate/invalidate/stats line per line; blank lines and # comments
+  skipped), answering from a content-addressed LRU plan cache of
+  --capacity entries (default 64); responses go to stdout; --no-warm-seed
+  disables near-miss warm-start seeding
 exit codes: 0 ok, 1 other, 2 usage, 3 OOM, 4 scheduling, 5 unrecovered fault,
-  6 injected crash, 7 checkpoint store failure";
+  6 injected crash, 7 checkpoint store failure, 8 serve protocol error";
 
 /// Flags that consume the following token as their value.
 const VALUE_FLAGS: &[&str] = &[
@@ -175,6 +188,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--checkpoint-every",
     "--checkpoint-keep",
     "--resume",
+    "--script",
+    "--capacity",
 ];
 
 /// Flags that stand alone.
@@ -184,6 +199,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--timeline",
     "--recover",
     "--crash-corrupt",
+    "--no-warm-seed",
 ];
 
 /// Horizon over which `random:<n>` fault clauses are spread. Generous
@@ -271,6 +287,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let path =
                 flag(args, "--trace-in").ok_or_else(|| usage("analyze needs --trace-in FILE"))?;
             analyze_trace(&path, flag(args, "--analyze-out").as_deref())
+        }
+        "serve" => {
+            let path = flag(args, "--script").ok_or_else(|| usage("serve needs --script FILE"))?;
+            let capacity: usize = flag(args, "--capacity")
+                .map(|s| s.parse().map_err(|_| usage("bad --capacity")))
+                .transpose()?
+                .unwrap_or(64);
+            if capacity == 0 {
+                return Err(usage("bad --capacity: need room for at least one plan"));
+            }
+            let warm_seed = !args.iter().any(|a| a == "--no-warm-seed");
+            serve_script(&path, capacity, warm_seed)
         }
         "report" => {
             let system = parse_system(&flag(args, "--system").unwrap_or_else(|| "mobius".into()))?;
@@ -670,6 +698,24 @@ fn analyze_trace(path: &str, out: Option<&str>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One-shot planning service: replays a request script through the
+/// [`mobius_serve::Server`] loop, answering on stdout. The loop aborts on
+/// the first malformed request or planner rejection — exit code 8 — so a
+/// scripted deployment can't silently skip half its requests.
+fn serve_script(path: &str, capacity: usize, warm_seed: bool) -> Result<(), CliError> {
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError::Other(format!("reading {path}: {e}")))?;
+    let mut server = mobius_serve::Server::new(mobius_serve::ServeConfig {
+        capacity,
+        warm_seed,
+        obs: None,
+    });
+    let stdout = std::io::stdout();
+    server
+        .run(std::io::BufReader::new(file), stdout.lock())
+        .map_err(|e| CliError::Serve(e.to_string()))
+}
+
 fn report(tuner: FineTuner) -> Result<(), CliError> {
     let obs = Obs::new();
     let r = tuner.observe(obs.clone()).run_step()?;
@@ -961,6 +1007,38 @@ mod tests {
     fn crash_and_ckpt_errors_have_their_own_exit_codes() {
         assert_eq!(CliError::Crash("boom".into()).exit_code(), 6);
         assert_eq!(CliError::Ckpt("bad store".into()).exit_code(), 7);
+        assert_eq!(CliError::Serve("bad request".into()).exit_code(), 8);
+    }
+
+    #[test]
+    fn serve_flag_validation_and_exit_codes() {
+        let err = run(&argv(&["serve"])).unwrap_err();
+        assert!(err.to_string().contains("--script"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&argv(&["serve", "--script", "x", "--capacity", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        // A missing script file is environmental, not a protocol error.
+        let err = run(&argv(&["serve", "--script", "/nonexistent/requests.txt"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+    }
+
+    #[test]
+    fn serve_replays_a_script_and_rejects_protocol_errors_with_exit_8() {
+        let dir = std::env::temp_dir();
+        let p = dir.join(format!("mobius-cli-serve-{}.txt", std::process::id()));
+        let p_s = p.to_str().unwrap().to_string();
+
+        // Comments and blank lines are skipped; `stats` needs no solve.
+        std::fs::write(&p, "# smoke script\n\nstats\n").unwrap();
+        run(&argv(&["serve", "--script", &p_s])).unwrap();
+
+        // An unknown verb aborts the loop with the serve exit code.
+        std::fs::write(&p, "frobnicate model=gpt2 topo=2+2\n").unwrap();
+        let err = run(&argv(&["serve", "--script", &p_s])).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+        assert!(matches!(err, CliError::Serve(_)), "{err}");
+
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]
