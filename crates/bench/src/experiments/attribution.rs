@@ -12,6 +12,7 @@ use mobius::obs::Obs;
 use mobius::{FineTuner, System};
 use mobius_model::GptConfig;
 use mobius_pipeline::PartitionAlgo;
+use mobius_sim::units::ns_to_secs;
 
 use crate::{commodity, fmt_secs, fmt_x, Experiment};
 
@@ -91,7 +92,7 @@ pub fn blame(quick: bool) -> Experiment {
         };
         e.push_row([
             rep.system.label().to_string(),
-            fmt_secs(total as f64 / 1e9),
+            fmt_secs(ns_to_secs(total as f64)),
             pct(gpu, total),
             pct(pcie, total),
             pct(lat, total),

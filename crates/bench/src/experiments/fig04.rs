@@ -9,7 +9,7 @@ use mobius_topology::{GpuSpec, Topology};
 
 use crate::Experiment;
 
-const GB: u64 = 1 << 30;
+const GIB_BYTES: u64 = 1 << 30;
 
 /// The figure's setting: 8 equal stages, 4 GPUs, M = 4 microbatches, with
 /// uploads sized so prefetch windows are tight (communication visible).
@@ -18,11 +18,11 @@ pub fn stages() -> Vec<StageCosts> {
         .map(|_| StageCosts {
             fwd: SimTime::from_millis(60),
             bwd: SimTime::from_millis(120),
-            param_bytes: 3 * GB,
-            grad_bytes: 3 * GB,
+            param_bytes: 3 * GIB_BYTES,
+            grad_bytes: 3 * GIB_BYTES,
             in_act_bytes: 16 << 20,
             out_act_bytes: 16 << 20,
-            workspace_bytes: GB,
+            workspace_bytes: GIB_BYTES,
         })
         .collect()
 }
@@ -30,7 +30,7 @@ pub fn stages() -> Vec<StageCosts> {
 /// Step time under a mapping, plus the rendered timeline.
 pub fn schedule_for(mapping: &Mapping) -> (f64, String) {
     let stages = stages();
-    let cfg = PipelineConfig::mobius(4, 24 * GB, 13.1e9);
+    let cfg = PipelineConfig::mobius(4, 24 * GIB_BYTES, 13.1e9);
     let sch = evaluate_analytic(&stages, mapping, &cfg).expect("figure setting is feasible");
     let gantt = render_gantt(&sch, &stages, mapping, 96);
     (sch.step_time.as_secs_f64(), gantt)

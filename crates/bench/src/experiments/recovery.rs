@@ -17,6 +17,7 @@
 use mobius::{run_checkpointed, CheckpointOpts, FineTuner, RunOutcome, RunSinks, System};
 use mobius_model::GptConfig;
 use mobius_pipeline::PartitionAlgo;
+use mobius_sim::units::ns_to_secs;
 use mobius_sim::FaultSchedule;
 
 use crate::{commodity, fmt_secs, Experiment};
@@ -91,9 +92,9 @@ pub fn overhead(quick: bool, seed: u64) -> Experiment {
             if overhead_ns == 0 {
                 "-".to_string()
             } else {
-                fmt_secs(overhead_ns as f64 / 1e9)
+                fmt_secs(ns_to_secs(overhead_ns as f64))
             },
-            fmt_secs(cum_ns as f64 / 1e9),
+            fmt_secs(ns_to_secs(cum_ns as f64)),
             format!("{pct:+.2}%"),
         ]);
     }

@@ -12,6 +12,7 @@ use mobius::{DegradeAction, FineTuner, ResiliencePolicy, System};
 use mobius_model::GptConfig;
 use mobius_obs::WallTimer;
 use mobius_pipeline::PartitionAlgo;
+use mobius_sim::units::secs_to_ms;
 use mobius_sim::{FaultSchedule, SimTime};
 
 use crate::{commodity, fmt_secs, fmt_x, Experiment};
@@ -124,7 +125,7 @@ pub fn replan(quick: bool, seed: u64) -> Experiment {
         // Wall latency is machine-dependent: stderr only, never a cell.
         eprintln!(
             "resilience-replan: gpufail:{gpu}:{at_ms} recovered in {:.0} ms wall",
-            timer.elapsed().secs() * 1e3
+            secs_to_ms(timer.elapsed().secs())
         );
         let survivors = rep
             .degradations

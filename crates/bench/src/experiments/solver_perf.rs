@@ -34,7 +34,7 @@ use mobius_sim::{Engine, FlowNetwork, ReferenceEngine, SimTime};
 use super::baseline::{check_counters, counters_experiment, Metric, Rule};
 use crate::{commodity, Experiment};
 
-const GB: u64 = 1 << 30;
+const GIB_BYTES: u64 = 1 << 30;
 
 /// Stable id of the counter table the baseline gate diffs.
 pub const COUNTERS_ID: &str = "solver-counters";
@@ -52,8 +52,8 @@ fn replan_profile() -> ModelProfile {
             .map(|i| LayerProfile {
                 fwd: SimTime::from_millis(20 + ((i * 37) % 97) as u64),
                 bwd: SimTime::from_millis(3 * (20 + ((i * 37) % 97) as u64)),
-                param_bytes: GB + (i as u64 % 3) * (GB / 4),
-                grad_bytes: GB,
+                param_bytes: GIB_BYTES + (i as u64 % 3) * (GIB_BYTES / 4),
+                grad_bytes: GIB_BYTES,
                 output_act_bytes: 4 << 20,
                 workspace_bytes: 256 << 20,
             })

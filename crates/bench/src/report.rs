@@ -1,5 +1,6 @@
 //! Experiment results as printable tables and markdown.
 
+use mobius_sim::units::{bytes_to_gb, secs_to_ms};
 use std::fmt::Write as _;
 
 use mobius_obs::json;
@@ -195,13 +196,13 @@ pub fn fmt_secs(s: f64) -> String {
     } else if s >= 0.01 {
         format!("{s:.2}s")
     } else {
-        format!("{:.2}ms", s * 1e3)
+        format!("{:.2}ms", secs_to_ms(s))
     }
 }
 
 /// Formats bytes as GB (10^9).
 pub fn fmt_gb(bytes: f64) -> String {
-    format!("{:.1}GB", bytes / 1e9)
+    format!("{:.1}GB", bytes_to_gb(bytes))
 }
 
 /// Formats a ratio like `4.2x`.

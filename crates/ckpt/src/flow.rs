@@ -10,6 +10,7 @@
 //! blame tables, and what-if attribution as its own hardware class.
 
 use mobius_obs::{AttrValue, DagDep, Lane, Obs, ResourceId};
+use mobius_sim::units::gbps_to_bytes_per_sec;
 use mobius_sim::{FlowNetwork, SimTime};
 
 /// Host DRAM staging bandwidth for checkpoint drains, GB/s. Matches the
@@ -46,8 +47,8 @@ pub fn simulate_ckpt_write(bytes: f64, ssd_gbps: Option<f64>) -> SimTime {
     let ssd = ssd_gbps.unwrap_or(DEFAULT_CKPT_SSD_GBPS);
     assert!(ssd > 0.0, "SSD bandwidth must be positive");
     let mut net = FlowNetwork::new();
-    let dram = net.add_link("ckpt-dram", CKPT_DRAM_GBPS * 1e9);
-    let ssd = net.add_link("ckpt-ssd", ssd * 1e9);
+    let dram = net.add_link("ckpt-dram", gbps_to_bytes_per_sec(CKPT_DRAM_GBPS));
+    let ssd = net.add_link("ckpt-ssd", gbps_to_bytes_per_sec(ssd));
     net.start_flow(vec![dram, ssd], bytes, 0, 0);
     let (t, _) = net
         .next_completion()

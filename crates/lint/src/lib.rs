@@ -1,13 +1,18 @@
 //! # mobius-lint
 //!
-//! In-tree determinism & layering static analysis for the Mobius
-//! reproduction. Every headline number of this workspace is defended by
-//! byte-determinism gates (golden Chrome traces, byte-compared seeded bench
-//! runs, bit-identity tests); this crate turns the determinism discipline
-//! those gates rely on from convention into a checked property. It is a
-//! token-level scanner — comments, strings, and char literals are stripped
-//! before matching, but no full parse (`syn`) is needed or used, consistent
-//! with the offline shim policy.
+//! In-tree determinism, layering, and dimension-consistency static
+//! analysis for the Mobius reproduction. Every headline number of this
+//! workspace is defended by byte-determinism gates (golden Chrome traces,
+//! byte-compared seeded bench runs, bit-identity tests); this crate turns
+//! the discipline those gates rely on from convention into a checked
+//! property. It is a token-level scanner — comments, strings, and char
+//! literals are stripped before matching, but no full parse (`syn`) is
+//! needed or used, consistent with the offline shim policy.
+//!
+//! The analysis is multi-pass and workspace-aware: per-file token rules
+//! run first, then workspace-stage rules (the D009 registry cross-check
+//! and D008 staleness of `allow(D009)` directives) run over state
+//! threaded through the whole tree by [`scan_workspace`].
 //!
 //! ## Lint catalog
 //!
@@ -20,6 +25,13 @@
 //! | D004 | unseeded randomness (`thread_rng`, `rand::random`) |
 //! | D005 | crate-layering violations: `crates/*/Cargo.toml` checked against [`LAYERING`], the machine-readable DESIGN.md dependency-flow table |
 //! | D006 | `.unwrap()`/`.expect(` on an I/O result in non-test library code (crate `src/`, `#[cfg(test)]` regions exempt); I/O failures must surface as typed errors |
+//! | D007 | unit-consistency: mixed-dimension `+`/`-`/comparison/assignment inferred from identifier suffixes (`_ns`, `_secs`, `_bytes`, `_gb`, `_gbps`, …) without a recognized `mobius_sim::units` conversion |
+//! | D008 | stale suppressions: an `allow(Dxxx, …)` directive that suppresses zero findings |
+//! | D009 | obs-registry drift: counters/gauges/`Lane::` variants out of sync with DESIGN.md's obs-registry table, in either direction |
+//!
+//! This table is the crate's contract: a meta-consistency test asserts it
+//! lists exactly the [`Code`] variants, so adding a rule without
+//! documenting it (or vice versa) fails the build.
 //!
 //! ## Suppressions
 //!
@@ -33,7 +45,9 @@
 //! (`#`-comments in `Cargo.toml` for D005.) A directive on its own line
 //! suppresses matching findings on the next source line; a trailing
 //! directive suppresses its own line. A reason-less or malformed directive
-//! is itself a finding (D000), and D000 cannot be suppressed.
+//! is itself a finding (D000), a directive that suppresses nothing is a
+//! finding too (D008), and neither D000 nor D008 can be suppressed: a bad
+//! or dead directive must be fixed or deleted, not hidden.
 //!
 //! ## Output
 //!
@@ -45,1190 +59,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt;
-use std::fs;
-use std::io;
-use std::path::Path;
+pub mod expr;
+mod render;
+pub mod rules;
+mod scan;
+mod suppress;
+mod types;
+mod walk;
 
-/// Files where D001 wall-clock reads are allowed without a suppression:
-/// the dedicated diagnostics-only modules whose values never reach a
-/// byte-compared artifact (see `mobius_obs::walltime`).
-pub const D001_ALLOWLIST: &[&str] = &["crates/obs/src/walltime.rs"];
-
-/// The DESIGN.md dependency-flow table, machine-readable: each workspace
-/// crate and the full set of workspace crates it may depend on
-/// (transitively closed, `[dependencies]` and `[dev-dependencies]` alike).
-/// D005 fails any `crates/*/Cargo.toml` whose `mobius*` dependencies leave
-/// this set, so the layer diagram is checked, not aspirational — in
-/// particular `mobius-obs` and `mobius-sim` can never grow a dependency on
-/// `mobius` (core). Keep in sync with DESIGN.md § Static analysis.
-pub const LAYERING: &[(&str, &[&str])] = &[
-    ("mobius-obs", &[]),
-    ("mobius-model", &[]),
-    ("mobius-tensor", &[]),
-    ("mobius-lint", &[]),
-    ("mobius-sim", &["mobius-obs"]),
-    ("mobius-ckpt", &["mobius-sim", "mobius-obs"]),
-    ("mobius-topology", &["mobius-sim", "mobius-obs"]),
-    ("mobius-mip", &["mobius-obs"]),
-    (
-        "mobius-mapping",
-        &["mobius-topology", "mobius-sim", "mobius-obs"],
-    ),
-    (
-        "mobius-cluster",
-        &["mobius-topology", "mobius-sim", "mobius-obs"],
-    ),
-    (
-        "mobius-profiler",
-        &[
-            "mobius-model",
-            "mobius-topology",
-            "mobius-sim",
-            "mobius-obs",
-        ],
-    ),
-    (
-        "mobius-zero",
-        &[
-            "mobius-profiler",
-            "mobius-model",
-            "mobius-topology",
-            "mobius-sim",
-            "mobius-obs",
-        ],
-    ),
-    (
-        "mobius-pipeline",
-        &[
-            "mobius-mip",
-            "mobius-mapping",
-            "mobius-profiler",
-            "mobius-model",
-            "mobius-topology",
-            "mobius-sim",
-            "mobius-obs",
-        ],
-    ),
-    (
-        "mobius",
-        &[
-            "mobius-ckpt",
-            "mobius-tensor",
-            "mobius-cluster",
-            "mobius-zero",
-            "mobius-pipeline",
-            "mobius-mip",
-            "mobius-mapping",
-            "mobius-profiler",
-            "mobius-model",
-            "mobius-topology",
-            "mobius-sim",
-            "mobius-obs",
-        ],
-    ),
-    (
-        "mobius-serve",
-        &[
-            "mobius",
-            "mobius-ckpt",
-            "mobius-tensor",
-            "mobius-cluster",
-            "mobius-zero",
-            "mobius-pipeline",
-            "mobius-mip",
-            "mobius-mapping",
-            "mobius-profiler",
-            "mobius-model",
-            "mobius-topology",
-            "mobius-sim",
-            "mobius-obs",
-        ],
-    ),
-    (
-        "mobius-bench",
-        &[
-            "mobius",
-            "mobius-serve",
-            "mobius-ckpt",
-            "mobius-tensor",
-            "mobius-cluster",
-            "mobius-zero",
-            "mobius-pipeline",
-            "mobius-mip",
-            "mobius-mapping",
-            "mobius-profiler",
-            "mobius-model",
-            "mobius-topology",
-            "mobius-sim",
-            "mobius-obs",
-        ],
-    ),
-];
-
-/// Lint codes. `D000` marks a malformed suppression and is not itself
-/// suppressible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Code {
-    /// Malformed or reason-less suppression directive.
-    D000,
-    /// Wall-clock read outside the diagnostics allowlist.
-    D001,
-    /// Hash-ordered collection in simulation-affecting code.
-    D002,
-    /// NaN-unsafe float ordering (`partial_cmp`).
-    D003,
-    /// Unseeded randomness.
-    D004,
-    /// Crate-layering violation.
-    D005,
-    /// Panicking I/O (`.unwrap()`/`.expect(`) in non-test library code.
-    D006,
-}
-
-impl Code {
-    /// The canonical `Dxxx` spelling.
-    #[must_use]
-    pub fn as_str(self) -> &'static str {
-        match self {
-            Code::D000 => "D000",
-            Code::D001 => "D001",
-            Code::D002 => "D002",
-            Code::D003 => "D003",
-            Code::D004 => "D004",
-            Code::D005 => "D005",
-            Code::D006 => "D006",
-        }
-    }
-
-    /// Parses a suppressible code (`D001`–`D006`). `D000` and unknown
-    /// spellings return `None`.
-    #[must_use]
-    pub fn parse_allowable(s: &str) -> Option<Code> {
-        match s {
-            "D001" => Some(Code::D001),
-            "D002" => Some(Code::D002),
-            "D003" => Some(Code::D003),
-            "D004" => Some(Code::D004),
-            "D005" => Some(Code::D005),
-            "D006" => Some(Code::D006),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for Code {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-/// One lint finding: a rule violated at a specific source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    /// Lint code.
-    pub code: Code,
-    /// Repo-relative path, forward slashes.
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-// ---------------------------------------------------------------------------
-// Source cleaning: blank comments / strings / char literals, keep newlines,
-// and collect comment bodies (the suppression-directive carrier).
-// ---------------------------------------------------------------------------
-
-struct Cleaned {
-    /// Source with comment and literal contents replaced by spaces;
-    /// byte-for-byte line structure preserved.
-    text: String,
-    /// `(line, body)` of every line comment, body excluding the slashes.
-    comments: Vec<(usize, String)>,
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-fn clean_rust(src: &str) -> Cleaned {
-    let chars: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut comments = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-    let mut prev_ident = false; // was the previous emitted char an ident char?
-
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            line += 1;
-        }
-        // Line comment.
-        if c == '/' && chars.get(i + 1) == Some(&'/') {
-            let start_line = line;
-            let mut body = String::new();
-            while i < chars.len() && chars[i] != '\n' {
-                body.push(chars[i]);
-                out.push(' ');
-                i += 1;
-            }
-            comments.push((start_line, body));
-            prev_ident = false;
-            continue;
-        }
-        // Block comment (nested).
-        if c == '/' && chars.get(i + 1) == Some(&'*') {
-            let mut depth = 0usize;
-            while i < chars.len() {
-                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    if chars[i] == '\n' {
-                        line += 1;
-                    }
-                    out.push(blank(chars[i]));
-                    i += 1;
-                }
-            }
-            prev_ident = false;
-            continue;
-        }
-        // Raw string r"..." / r#"..."# / br#"..."# (no escapes inside).
-        if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'))) && !prev_ident {
-            let mut j = i + if c == 'b' { 2 } else { 1 };
-            let mut hashes = 0usize;
-            while chars.get(j) == Some(&'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if chars.get(j) == Some(&'"') {
-                // Blank the prefix and opening quote.
-                for &c in &chars[i..=j] {
-                    out.push(blank(c));
-                }
-                i = j + 1;
-                // Scan to `"` followed by `hashes` hashes.
-                while i < chars.len() {
-                    if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
-                        for _ in 0..=hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                        break;
-                    }
-                    if chars[i] == '\n' {
-                        line += 1;
-                    }
-                    out.push(blank(chars[i]));
-                    i += 1;
-                }
-                prev_ident = false;
-                continue;
-            }
-        }
-        // Normal (or byte) string with escapes.
-        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_ident) {
-            if c == 'b' {
-                out.push(' ');
-                i += 1;
-            }
-            out.push(' '); // opening quote
-            i += 1;
-            while i < chars.len() {
-                if chars[i] == '\\' {
-                    out.push(' ');
-                    if i + 1 < chars.len() {
-                        out.push(blank(chars[i + 1]));
-                        if chars[i + 1] == '\n' {
-                            line += 1;
-                        }
-                    }
-                    i += 2;
-                    continue;
-                }
-                if chars[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                }
-                if chars[i] == '\n' {
-                    line += 1;
-                }
-                out.push(blank(chars[i]));
-                i += 1;
-            }
-            prev_ident = false;
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == '\'' {
-            let next = chars.get(i + 1).copied();
-            let is_char_lit = match next {
-                Some('\\') => true,
-                Some(n) => chars.get(i + 2) == Some(&'\'') && n != '\'',
-                None => false,
-            };
-            if is_char_lit {
-                out.push(' ');
-                i += 1;
-                while i < chars.len() {
-                    if chars[i] == '\\' {
-                        out.push(' ');
-                        if i + 1 < chars.len() {
-                            out.push(' ');
-                        }
-                        i += 2;
-                        continue;
-                    }
-                    if chars[i] == '\'' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    }
-                    out.push(' ');
-                    i += 1;
-                }
-                prev_ident = false;
-                continue;
-            }
-        }
-        out.push(c);
-        prev_ident = is_ident(c);
-        i += 1;
-    }
-    Cleaned {
-        text: out,
-        comments,
-    }
-}
-
-/// Strips `#` comments from TOML (string-aware), collecting their bodies.
-/// String values are kept intact so key/value parsing still works.
-fn clean_toml(src: &str) -> Cleaned {
-    let mut out = String::with_capacity(src.len());
-    let mut comments = Vec::new();
-    for (idx, raw_line) in src.lines().enumerate() {
-        let line_no = idx + 1;
-        let mut in_basic = false;
-        let mut in_literal = false;
-        let mut cut = raw_line.len();
-        let mut iter = raw_line.char_indices().peekable();
-        while let Some((p, ch)) = iter.next() {
-            match ch {
-                '"' if !in_literal => in_basic = !in_basic,
-                '\\' if in_basic => {
-                    iter.next();
-                }
-                '\'' if !in_basic => in_literal = !in_literal,
-                '#' if !in_basic && !in_literal => {
-                    cut = p;
-                    comments.push((line_no, raw_line[p..].to_string()));
-                    break;
-                }
-                _ => {}
-            }
-        }
-        out.push_str(&raw_line[..cut]);
-        for _ in cut..raw_line.len() {
-            out.push(' ');
-        }
-        out.push('\n');
-    }
-    Cleaned {
-        text: out,
-        comments,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Suppression directives.
-// ---------------------------------------------------------------------------
-
-enum Directive {
-    /// No lint-directive marker in this comment.
-    None,
-    /// A well-formed `allow(Dxxx, reason = "…")`.
-    Allow(Code),
-    /// Marker present but malformed — a D000 finding.
-    Malformed(String),
-}
-
-fn parse_directive(comment: &str) -> Directive {
-    let Some(pos) = comment.find("mobius-lint:") else {
-        return Directive::None;
-    };
-    let rest = comment[pos + "mobius-lint:".len()..].trim();
-    let Some(inner) = rest
-        .strip_prefix("allow(")
-        .and_then(|r| r.rfind(')').map(|e| &r[..e]))
-    else {
-        return Directive::Malformed(
-            "unrecognized mobius-lint directive; expected `allow(Dxxx, reason = \"…\")`"
-                .to_string(),
-        );
-    };
-    let (code_str, tail) = match inner.find(',') {
-        Some(comma) => (inner[..comma].trim(), Some(inner[comma + 1..].trim())),
-        None => (inner.trim(), None),
-    };
-    let Some(code) = Code::parse_allowable(code_str) else {
-        return Directive::Malformed(format!(
-            "`allow({code_str})` names no suppressible lint (D001–D006)"
-        ));
-    };
-    let Some(tail) = tail else {
-        return Directive::Malformed(format!(
-            "allow({code}) carries no reason; a non-empty `reason = \"…\"` is mandatory"
-        ));
-    };
-    let reason_ok = tail
-        .strip_prefix("reason")
-        .map(str::trim_start)
-        .and_then(|t| t.strip_prefix('='))
-        .map(str::trim)
-        .and_then(|t| t.strip_prefix('"'))
-        .and_then(|t| t.strip_suffix('"'))
-        .is_some_and(|r| !r.trim().is_empty());
-    if !reason_ok {
-        return Directive::Malformed(format!(
-            "allow({code}) has a malformed or empty reason; a non-empty `reason = \"…\"` is mandatory"
-        ));
-    }
-    Directive::Allow(code)
-}
-
-/// A validated suppression and the line it applies to.
-struct Suppression {
-    code: Code,
-    target_line: usize,
-}
-
-/// Extracts suppressions (and D000 findings for malformed ones) from the
-/// collected comments. A trailing directive targets its own line; an
-/// own-line directive targets the next line with any code on it.
-fn resolve_directives(cleaned: &Cleaned, path: &str) -> (Vec<Suppression>, Vec<Finding>) {
-    let lines: Vec<&str> = cleaned.text.lines().collect();
-    let has_code = |line_no: usize| lines.get(line_no - 1).is_some_and(|l| !l.trim().is_empty());
-    let mut supps = Vec::new();
-    let mut bad = Vec::new();
-    for (line_no, body) in &cleaned.comments {
-        match parse_directive(body) {
-            Directive::None => {}
-            Directive::Malformed(message) => bad.push(Finding {
-                code: Code::D000,
-                path: path.to_string(),
-                line: *line_no,
-                message,
-            }),
-            Directive::Allow(code) => {
-                let target_line = if has_code(*line_no) {
-                    *line_no
-                } else {
-                    // Next line carrying code (skipping blank/comment-only).
-                    ((*line_no + 1)..=lines.len())
-                        .find(|&l| has_code(l))
-                        .unwrap_or(*line_no)
-                };
-                supps.push(Suppression { code, target_line });
-            }
-        }
-    }
-    (supps, bad)
-}
-
-// ---------------------------------------------------------------------------
-// Pattern matching.
-// ---------------------------------------------------------------------------
-
-/// Does `pat` occur in `hay` with no identifier character hugging either
-/// end? Returns the byte offset of the first such occurrence.
-fn find_bounded(hay: &str, pat: &str) -> Option<usize> {
-    let mut from = 0;
-    while let Some(rel) = hay[from..].find(pat) {
-        let at = from + rel;
-        let before_ok = hay[..at].chars().next_back().is_none_or(|c| !is_ident(c));
-        let after_ok = hay[at + pat.len()..]
-            .chars()
-            .next()
-            .is_none_or(|c| !is_ident(c));
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = at + pat.len().max(1);
-    }
-    None
-}
-
-/// Substrings identifying an I/O call site for D006. Deliberately prefix
-/// patterns (`fs::read` also matches `fs::read_to_string`/`fs::read_dir`).
-const IO_PATTERNS: &[&str] = &[
-    "fs::read",
-    "fs::write",
-    "fs::create_dir",
-    "fs::remove",
-    "fs::rename",
-    "fs::copy",
-    "File::open",
-    "File::create",
-    "read_to_string",
-    "read_dir",
-    "io::stdin",
-    "io::stdout",
-    "write_all",
-    "read_exact",
-];
-
-/// Per-line mask of `#[cfg(test)]`-gated regions, brace-tracked on the
-/// cleaned text (so the attribute inside a string does not arm it). D006
-/// does not apply there: tests panicking on I/O is idiomatic.
-fn test_region_mask(cleaned_text: &str) -> Vec<bool> {
-    let lines: Vec<&str> = cleaned_text.lines().collect();
-    let mut mask = vec![false; lines.len()];
-    let mut depth = 0i64;
-    let mut armed = false; // attribute seen, opening brace not yet
-    for (i, line) in lines.iter().enumerate() {
-        let scan_from;
-        if depth == 0 && !armed {
-            match line.find("#[cfg(test)]") {
-                Some(p) => {
-                    armed = true;
-                    scan_from = p;
-                }
-                None => continue,
-            }
-        } else {
-            scan_from = 0;
-        }
-        mask[i] = true;
-        for c in line[scan_from..].chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    armed = false;
-                }
-                '}' => depth = (depth - 1).max(0),
-                _ => {}
-            }
-        }
-    }
-    mask
-}
-
-const ITER_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-    ".retain(",
-    ".into_iter()",
-    ".into_keys()",
-    ".into_values()",
-];
-
-/// Extracts the identifier being declared as a hash collection on `line`,
-/// for declarations shaped like `name: HashMap<…>` (fields, typed lets) or
-/// `let [mut] name = HashMap::new()`.
-fn decl_ident(line: &str, hash_at: usize) -> Option<String> {
-    let before = line[..hash_at].trim_end();
-    let take_trailing_ident = |s: &str| {
-        let t: String = s
-            .chars()
-            .rev()
-            .take_while(|&c| is_ident(c))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .rev()
-            .collect();
-        if t.is_empty() || t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-            None
-        } else {
-            Some(t)
-        }
-    };
-    if let Some(b) = before.strip_suffix(':') {
-        return take_trailing_ident(b.trim_end());
-    }
-    if let Some(b) = before.strip_suffix('=') {
-        // `let mut name = HashMap::new()` (strip a typed `: HashMap<…> =`
-        // case first: the `:` branch above already caught it).
-        return take_trailing_ident(b.trim_end());
-    }
-    None
-}
-
-/// Scans one Rust source file. `path` is the repo-relative label used in
-/// findings; `d002_applies` marks simulation-affecting code (crate `src/`
-/// trees), where hash-ordered collections are banned.
-#[must_use]
-pub fn scan_rust_source(path: &str, src: &str, d002_applies: bool) -> Vec<Finding> {
-    let cleaned = clean_rust(src);
-    let (supps, mut findings) = resolve_directives(&cleaned, path);
-    let d001_allowed = D001_ALLOWLIST.contains(&path);
-
-    // Pass 1: collect hash-collection identifiers (for iteration checks).
-    let mut hash_idents: Vec<String> = Vec::new();
-    if d002_applies {
-        for line in cleaned.text.lines() {
-            for word in ["HashMap", "HashSet"] {
-                if let Some(at) = find_bounded(line, word) {
-                    if let Some(name) = decl_ident(line, at) {
-                        if !hash_idents.contains(&name) {
-                            hash_idents.push(name);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    let clines: Vec<&str> = cleaned.text.lines().collect();
-    let in_test = if d002_applies {
-        test_region_mask(&cleaned.text)
-    } else {
-        Vec::new()
-    };
-
-    let mut raw: Vec<Finding> = Vec::new();
-    {
-        let mut push = |code: Code, line: usize, message: String| {
-            if !raw
-                .iter()
-                .any(|f: &Finding| f.code == code && f.line == line)
-            {
-                raw.push(Finding {
-                    code,
-                    path: path.to_string(),
-                    line,
-                    message,
-                });
-            }
-        };
-
-        for (idx, line) in cleaned.text.lines().enumerate() {
-            let line_no = idx + 1;
-            if !d001_allowed {
-                for pat in ["Instant::now", "SystemTime::now"] {
-                    if find_bounded(line, pat).is_some() {
-                        push(
-                            Code::D001,
-                            line_no,
-                            format!(
-                                "wall-clock read (`{pat}`) outside the diagnostics allowlist; \
-                             route it through mobius_obs::walltime::WallTimer"
-                            ),
-                        );
-                    }
-                }
-            }
-            if line.contains(".partial_cmp(") {
-                push(
-                    Code::D003,
-                    line_no,
-                    "NaN-unsafe float ordering via `.partial_cmp(…)`; use `f64::total_cmp` \
-                 (or `Ord::cmp` on integer keys)"
-                        .to_string(),
-                );
-            }
-            for pat in ["thread_rng", "rand::random"] {
-                if find_bounded(line, pat).is_some() {
-                    push(
-                    Code::D004,
-                    line_no,
-                    format!("unseeded randomness (`{pat}`); all randomness must flow from an explicit seed"),
-                );
-                }
-            }
-            if d002_applies {
-                let trimmed = line.trim_start();
-                let is_use = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
-                if !is_use {
-                    for word in ["HashMap", "HashSet"] {
-                        if find_bounded(line, word).is_some() {
-                            push(
-                                Code::D002,
-                                line_no,
-                                format!(
-                                "`{word}` in simulation-affecting code; hash iteration order can \
-                                 leak into traces, reports, or flow scheduling — use \
-                                 BTreeMap/BTreeSet, or allow(D002) with a lookup-only reason"
-                            ),
-                            );
-                        }
-                    }
-                }
-                for name in &hash_idents {
-                    let method_hit = ITER_METHODS.iter().any(|m| {
-                        let pat = format!("{name}{m}");
-                        find_bounded(line, &pat).is_some()
-                    });
-                    let for_hit = line.contains("for ")
-                        && line
-                            .find(" in ")
-                            .is_some_and(|p| find_bounded(&line[p + 4..], name).is_some());
-                    if method_hit || for_hit {
-                        push(
-                            Code::D002,
-                            line_no,
-                            format!("order-dependent iteration over hash collection `{name}`"),
-                        );
-                    }
-                }
-                // D006: panicking on an I/O result in non-test library
-                // code. The I/O call is looked for on the same line, or —
-                // for builder-chained call sites — on the line above when
-                // this line is a continuation (starts with `.`).
-                if !in_test.get(idx).copied().unwrap_or(false)
-                    && (line.contains(".unwrap()") || line.contains(".expect("))
-                {
-                    let io_here = IO_PATTERNS.iter().any(|p| line.contains(p));
-                    let io_chained = line.trim_start().starts_with('.')
-                        && idx > 0
-                        && IO_PATTERNS.iter().any(|p| clines[idx - 1].contains(p));
-                    if io_here || io_chained {
-                        push(
-                            Code::D006,
-                            line_no,
-                            "`.unwrap()`/`.expect(` on an I/O result in non-test code; \
-                             surface a typed error instead — I/O can fail at any time"
-                                .to_string(),
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    raw.retain(|f| {
-        !supps
-            .iter()
-            .any(|s| s.code == f.code && s.target_line == f.line)
-    });
-    findings.extend(raw);
-    findings.sort_by_key(|f| (f.line, f.code));
-    findings
-}
-
-/// Scans one `crates/*/Cargo.toml` for layering violations (D005) against
-/// [`LAYERING`]. `path` is the repo-relative label used in findings.
-#[must_use]
-pub fn scan_cargo_toml(path: &str, src: &str) -> Vec<Finding> {
-    let cleaned = clean_toml(src);
-    let (supps, mut findings) = resolve_directives(&cleaned, path);
-
-    let mut package: Option<(String, usize)> = None;
-    let mut section = String::new();
-    let mut deps: Vec<(String, usize)> = Vec::new(); // (dep name, line)
-    for (idx, line) in cleaned.text.lines().enumerate() {
-        let line_no = idx + 1;
-        let t = line.trim();
-        if let Some(name) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-            section = name.trim().to_string();
-            // `[dependencies.mobius-obs]` style table headers.
-            for sec in ["dependencies.", "dev-dependencies."] {
-                if let Some(dep) = section.strip_prefix(sec) {
-                    deps.push((dep.trim().to_string(), line_no));
-                }
-            }
-            continue;
-        }
-        if section == "package" && package.is_none() {
-            if let Some(v) = t.strip_prefix("name") {
-                let v = v.trim_start();
-                if let Some(v) = v.strip_prefix('=') {
-                    let name = v.trim().trim_matches('"').to_string();
-                    package = Some((name, line_no));
-                }
-            }
-        }
-        if (section == "dependencies" || section == "dev-dependencies") && !t.is_empty() {
-            let key: String = t.chars().take_while(|&c| is_ident(c) || c == '-').collect();
-            if !key.is_empty() {
-                deps.push((key, line_no));
-            }
-        }
-    }
-
-    let mut raw = Vec::new();
-    let Some((pkg, pkg_line)) = package else {
-        raw.push(Finding {
-            code: Code::D005,
-            path: path.to_string(),
-            line: 1,
-            message: "no [package] name found".to_string(),
-        });
-        findings.extend(raw);
-        return findings;
-    };
-    let allowed = LAYERING.iter().find(|(name, _)| *name == pkg);
-    match allowed {
-        None => raw.push(Finding {
-            code: Code::D005,
-            path: path.to_string(),
-            line: pkg_line,
-            message: format!(
-                "package `{pkg}` is missing from the D005 layering table; add it to \
-                 DESIGN.md's dependency-flow table and to LAYERING in crates/lint/src/lib.rs"
-            ),
-        }),
-        Some((_, allowed)) => {
-            for (dep, line) in &deps {
-                let is_mobius = dep == "mobius" || dep.starts_with("mobius-");
-                if is_mobius && !allowed.contains(&dep.as_str()) {
-                    raw.push(Finding {
-                        code: Code::D005,
-                        path: path.to_string(),
-                        line: *line,
-                        message: format!(
-                            "layering violation: `{pkg}` may not depend on `{dep}` \
-                             (DESIGN.md dependency flow; see LAYERING in crates/lint)"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-
-    raw.retain(|f| {
-        !supps
-            .iter()
-            .any(|s| s.code == f.code && s.target_line == f.line)
-    });
-    findings.extend(raw);
-    findings.sort_by_key(|f| (f.line, f.code));
-    findings
-}
-
-// ---------------------------------------------------------------------------
-// Workspace walking.
-// ---------------------------------------------------------------------------
-
-fn sorted_entries(dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
-    let mut v: Vec<_> = fs::read_dir(dir)?
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .collect();
-    v.sort();
-    Ok(v)
-}
-
-fn walk_rs(
-    root: &Path,
-    dir: &Path,
-    d002_src_root: Option<&Path>,
-    findings: &mut Vec<Finding>,
-) -> io::Result<()> {
-    for entry in sorted_entries(dir)? {
-        let name = entry
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        if entry.is_dir() {
-            // `fixtures` trees hold deliberate violations for the lint's own
-            // tests; `target`/`golden` hold build products and artifacts.
-            if matches!(name.as_str(), "target" | "fixtures" | "golden" | ".git") {
-                continue;
-            }
-            walk_rs(root, &entry, d002_src_root, findings)?;
-        } else if name.ends_with(".rs") {
-            let src = fs::read_to_string(&entry)?;
-            let label = rel_label(root, &entry);
-            let d002 = d002_src_root.is_some_and(|s| entry.starts_with(s));
-            findings.extend(scan_rust_source(&label, &src, d002));
-        }
-    }
-    Ok(())
-}
-
-fn rel_label(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root)
-        .unwrap_or(p)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-/// Scans the whole workspace rooted at `root`: every `.rs` file under
-/// `crates/`, `src/`, `tests/`, and `examples/` (skipping `target/`,
-/// fixture trees, and golden artifacts; `shims/` stand-ins are external
-/// code and exempt), plus every `crates/*/Cargo.toml` for D005. Findings
-/// come back sorted by `(path, line, code)` — deterministic by
-/// construction.
-///
-/// # Errors
-///
-/// Propagates I/O errors from reading the tree.
-pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    let crates = root.join("crates");
-    if crates.is_dir() {
-        for krate in sorted_entries(&crates)? {
-            if !krate.is_dir() {
-                continue;
-            }
-            let manifest = krate.join("Cargo.toml");
-            if manifest.is_file() {
-                let src = fs::read_to_string(&manifest)?;
-                findings.extend(scan_cargo_toml(&rel_label(root, &manifest), &src));
-            }
-            let src_root = krate.join("src");
-            walk_rs(root, &krate, Some(&src_root), &mut findings)?;
-        }
-    }
-    // Root package: src/ is simulation-affecting (facade code), tests/ and
-    // examples/ are not (their output is never a byte-compared artifact).
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        walk_rs(root, &root_src, Some(&root_src), &mut findings)?;
-    }
-    for dir in ["tests", "examples"] {
-        let d = root.join(dir);
-        if d.is_dir() {
-            walk_rs(root, &d, None, &mut findings)?;
-        }
-    }
-    findings.sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
-    Ok(findings)
-}
-
-// ---------------------------------------------------------------------------
-// Rendering.
-// ---------------------------------------------------------------------------
-
-/// Renders findings as `path:line: CODE message` lines plus a summary.
-#[must_use]
-pub fn render_human(findings: &[Finding]) -> String {
-    let mut out = String::new();
-    for f in findings {
-        out.push_str(&format!(
-            "{}:{}: {} {}\n",
-            f.path, f.line, f.code, f.message
-        ));
-    }
-    if findings.is_empty() {
-        out.push_str("mobius-lint: clean\n");
-    } else {
-        out.push_str(&format!("mobius-lint: {} finding(s)\n", findings.len()));
-    }
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders findings as a deterministic JSON document: sorted input order is
-/// preserved, keys are fixed, and nothing machine-dependent (timestamps,
-/// absolute paths) is emitted — two runs over the same tree are
-/// byte-identical.
-#[must_use]
-pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"findings\":[");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-            f.code,
-            json_escape(&f.path),
-            f.line,
-            json_escape(&f.message)
-        ));
-    }
-    out.push_str(&format!("],\"total\":{}}}\n", findings.len()));
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn clean_strips_strings_and_comments() {
-        let src = "let s = \"Instant::now\"; // Instant::now\nlet c = 'x';\n";
-        let c = clean_rust(src);
-        assert!(!c.text.contains("Instant"));
-        assert_eq!(c.comments.len(), 1);
-        assert_eq!(c.text.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn clean_handles_raw_strings_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"thread_rng\"#;\n";
-        let c = clean_rust(src);
-        assert!(c.text.contains("<'a>"), "lifetimes survive: {}", c.text);
-        assert!(!c.text.contains("thread_rng"));
-    }
-
-    #[test]
-    fn directive_requires_reason() {
-        assert!(matches!(
-            parse_directive("// mobius-lint: allow(D001, reason = \"x\")"),
-            Directive::Allow(Code::D001)
-        ));
-        assert!(matches!(
-            parse_directive("// mobius-lint: allow(D001)"),
-            Directive::Malformed(_)
-        ));
-        assert!(matches!(
-            parse_directive("// mobius-lint: allow(D001, reason = \"  \")"),
-            Directive::Malformed(_)
-        ));
-        assert!(matches!(
-            parse_directive("// mobius-lint: allow(D999, reason = \"x\")"),
-            Directive::Malformed(_)
-        ));
-        assert!(matches!(
-            parse_directive("// mobius-lint: allow(D000, reason = \"x\")"),
-            Directive::Malformed(_)
-        ));
-        assert!(matches!(
-            parse_directive("// plain comment"),
-            Directive::None
-        ));
-    }
-
-    #[test]
-    fn trailing_directive_suppresses_same_line() {
-        let src = "let t = Instant::now(); // mobius-lint: allow(D001, reason = \"test only\")\n";
-        assert!(scan_rust_source("x.rs", src, false).is_empty());
-    }
-
-    #[test]
-    fn own_line_directive_suppresses_next_code_line() {
-        let src =
-            "// mobius-lint: allow(D001, reason = \"test only\")\n\nlet t = Instant::now();\n";
-        assert!(scan_rust_source("x.rs", src, false).is_empty());
-    }
-
-    #[test]
-    fn suppression_does_not_leak_to_other_lines() {
-        let src = "// mobius-lint: allow(D001, reason = \"first only\")\nlet a = Instant::now();\nlet b = Instant::now();\n";
-        let f = scan_rust_source("x.rs", src, false);
-        assert_eq!(f.len(), 1);
-        assert_eq!((f[0].code, f[0].line), (Code::D001, 3));
-    }
-
-    #[test]
-    fn allowlist_exempts_walltime_module() {
-        let src = "let t = Instant::now();\n";
-        assert!(scan_rust_source("crates/obs/src/walltime.rs", src, false).is_empty());
-        assert_eq!(
-            scan_rust_source("crates/obs/src/chrome.rs", src, false).len(),
-            1
-        );
-    }
-
-    #[test]
-    fn d002_only_in_simulation_affecting_code() {
-        let src = "let m: HashMap<u32, u32> = HashMap::new();\n";
-        assert_eq!(scan_rust_source("crates/sim/src/x.rs", src, true).len(), 1);
-        assert!(scan_rust_source("tests/x.rs", src, false).is_empty());
-    }
-
-    #[test]
-    fn d002_use_lines_are_exempt() {
-        let src = "use std::collections::HashMap;\n";
-        assert!(scan_rust_source("crates/sim/src/x.rs", src, true).is_empty());
-    }
-
-    #[test]
-    fn d002_flags_iteration_of_declared_map() {
-        let src = "\
-// mobius-lint: allow(D002, reason = \"claimed lookup-only\")
-let mut flows: HashMap<u32, u32> = HashMap::new();
-for (k, v) in flows.iter() {
-    let _ = (k, v);
-}
-";
-        let f = scan_rust_source("crates/sim/src/x.rs", src, true);
-        // The declaration is suppressed, but the iteration is its own
-        // finding: a stale \"lookup-only\" claim cannot hide new iteration.
-        assert_eq!(f.len(), 1);
-        assert_eq!((f[0].code, f[0].line), (Code::D002, 3));
-    }
-
-    #[test]
-    fn d003_flags_partial_cmp_calls_only() {
-        let src = "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<Ordering> { Some(self.cmp(o)) }\n}\nxs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
-        let f = scan_rust_source("x.rs", src, false);
-        assert_eq!(f.len(), 1);
-        assert_eq!((f[0].code, f[0].line), (Code::D003, 4));
-    }
-
-    #[test]
-    fn toml_layering_violation_found_and_suppressible() {
-        let bad = "[package]\nname = \"mobius-obs\"\n\n[dependencies]\nmobius.workspace = true\n";
-        let f = scan_cargo_toml("crates/obs/Cargo.toml", bad);
-        assert_eq!(f.len(), 1);
-        assert_eq!((f[0].code, f[0].line), (Code::D005, 5));
-
-        let ok = "[package]\nname = \"mobius-obs\"\n\n[dependencies]\n# mobius-lint: allow(D005, reason = \"fixture\")\nmobius.workspace = true\n";
-        assert!(scan_cargo_toml("crates/obs/Cargo.toml", ok).is_empty());
-    }
-
-    #[test]
-    fn layering_table_is_transitively_closed() {
-        // If a crate may depend on X, it may depend on everything X may
-        // depend on — otherwise the table would reject legal indirect use.
-        for (name, allowed) in LAYERING {
-            for dep in *allowed {
-                let (_, dep_allowed) = LAYERING
-                    .iter()
-                    .find(|(n, _)| n == dep)
-                    .unwrap_or_else(|| panic!("`{dep}` (allowed for `{name}`) missing from table"));
-                for t in *dep_allowed {
-                    assert!(
-                        allowed.contains(t),
-                        "table not closed: {name} allows {dep} but not {dep}'s dep {t}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn json_is_deterministic_and_escaped() {
-        let f = vec![Finding {
-            code: Code::D001,
-            path: "a\"b.rs".to_string(),
-            line: 3,
-            message: "x\ny".to_string(),
-        }];
-        let a = render_json(&f);
-        assert_eq!(a, render_json(&f));
-        assert!(a.contains("a\\\"b.rs"));
-        assert!(a.contains("x\\ny"));
-        assert!(a.ends_with("\"total\":1}\n"));
-    }
-}
+pub use render::{render_human, render_json};
+pub use rules::determinism::D001_ALLOWLIST;
+pub use rules::layering::LAYERING;
+pub use types::{Code, Finding};
+pub use walk::{scan_cargo_toml, scan_rust_source, scan_workspace};

@@ -1,16 +1,22 @@
-//! `mobius-lint` — walks the workspace and reports determinism & layering
-//! findings (D001–D005). Exit code 0 = clean, 1 = findings, 2 = usage error.
+//! `mobius-lint` — walks the workspace and reports determinism, layering,
+//! and unit-consistency findings (D001–D009). Exit code 0 = clean,
+//! 1 = findings, 2 = usage error.
 //!
 //! ```text
 //! cargo run -p mobius-lint                      # human output, repo root
 //! cargo run -p mobius-lint -- --format json     # deterministic JSON
 //! cargo run -p mobius-lint -- --root some/dir   # lint another tree
 //! ```
+//!
+//! The scan is wall-clock timed via `mobius_obs::walltime` (the D001
+//! diagnostics escape): the duration goes to **stderr** only, so stdout —
+//! the byte-compared artifact surface — stays deterministic.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mobius_lint::{render_human, render_json, scan_workspace};
+use mobius_obs::walltime::WallTimer;
 
 fn usage() -> ExitCode {
     eprintln!("usage: mobius-lint [--root <dir>] [--format human|json]");
@@ -33,7 +39,7 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--help" | "-h" => {
-                println!("mobius-lint: determinism & layering static analysis");
+                println!("mobius-lint: determinism, layering & unit-consistency static analysis");
                 println!("usage: mobius-lint [--root <dir>] [--format human|json]");
                 return ExitCode::SUCCESS;
             }
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
+    let timer = WallTimer::start();
     let findings = match scan_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -59,6 +66,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Diagnostics only; stderr never feeds a byte-compared artifact.
+    eprintln!("mobius-lint: wall-secs {:.3}", timer.elapsed().secs());
 
     if format == "json" {
         print!("{}", render_json(&findings));

@@ -1,0 +1,212 @@
+//! Per-line determinism rules: D001 (wall clock), D002 (hash order),
+//! D003 (NaN-unsafe ordering), D004 (unseeded randomness), D006
+//! (panicking I/O).
+
+use crate::scan::{find_bounded, is_ident, Cleaned};
+use crate::types::{Code, Finding};
+
+/// Files where D001 wall-clock reads are allowed without a suppression:
+/// the dedicated diagnostics-only modules whose values never reach a
+/// byte-compared artifact (see `mobius_obs::walltime`).
+pub const D001_ALLOWLIST: &[&str] = &["crates/obs/src/walltime.rs"];
+
+/// Substrings identifying an I/O call site for D006. Deliberately prefix
+/// patterns (`fs::read` also matches `fs::read_to_string`/`fs::read_dir`).
+const IO_PATTERNS: &[&str] = &[
+    "fs::read",
+    "fs::write",
+    "fs::create_dir",
+    "fs::remove",
+    "fs::rename",
+    "fs::copy",
+    "File::open",
+    "File::create",
+    "read_to_string",
+    "read_dir",
+    "io::stdin",
+    "io::stdout",
+    "write_all",
+    "read_exact",
+];
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Extracts the identifier being declared as a hash collection on `line`,
+/// for declarations shaped like `name: HashMap<…>` (fields, typed lets) or
+/// `let [mut] name = HashMap::new()`.
+fn decl_ident(line: &str, hash_at: usize) -> Option<String> {
+    let before = line[..hash_at].trim_end();
+    let take_trailing_ident = |s: &str| {
+        let t: String = s
+            .chars()
+            .rev()
+            .take_while(|&c| is_ident(c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if t.is_empty() || t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            None
+        } else {
+            Some(t)
+        }
+    };
+    if let Some(b) = before.strip_suffix(':') {
+        return take_trailing_ident(b.trim_end());
+    }
+    if let Some(b) = before.strip_suffix('=') {
+        // `let mut name = HashMap::new()` (strip a typed `: HashMap<…> =`
+        // case first: the `:` branch above already caught it).
+        return take_trailing_ident(b.trim_end());
+    }
+    None
+}
+
+/// Runs the per-line rules over cleaned source. `in_test` masks
+/// `#[cfg(test)]` regions (D006 only); empty when `d002_applies` is false.
+/// Findings are deduplicated by `(code, line)`.
+pub fn findings(
+    path: &str,
+    cleaned: &Cleaned,
+    d002_applies: bool,
+    in_test: &[bool],
+) -> Vec<Finding> {
+    let d001_allowed = D001_ALLOWLIST.contains(&path);
+
+    // Pass 1: collect hash-collection identifiers (for iteration checks).
+    let mut hash_idents: Vec<String> = Vec::new();
+    if d002_applies {
+        for line in cleaned.text.lines() {
+            for word in ["HashMap", "HashSet"] {
+                if let Some(at) = find_bounded(line, word) {
+                    if let Some(name) = decl_ident(line, at) {
+                        if !hash_idents.contains(&name) {
+                            hash_idents.push(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let clines: Vec<&str> = cleaned.text.lines().collect();
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |code: Code, line: usize, message: String| {
+        if !raw
+            .iter()
+            .any(|f: &Finding| f.code == code && f.line == line)
+        {
+            raw.push(Finding {
+                code,
+                path: path.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    for (idx, line) in cleaned.text.lines().enumerate() {
+        let line_no = idx + 1;
+        if !d001_allowed {
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if find_bounded(line, pat).is_some() {
+                    push(
+                        Code::D001,
+                        line_no,
+                        format!(
+                            "wall-clock read (`{pat}`) outside the diagnostics allowlist; \
+                             route it through mobius_obs::walltime::WallTimer"
+                        ),
+                    );
+                }
+            }
+        }
+        if line.contains(".partial_cmp(") {
+            push(
+                Code::D003,
+                line_no,
+                "NaN-unsafe float ordering via `.partial_cmp(…)`; use `f64::total_cmp` \
+                 (or `Ord::cmp` on integer keys)"
+                    .to_string(),
+            );
+        }
+        for pat in ["thread_rng", "rand::random"] {
+            if find_bounded(line, pat).is_some() {
+                push(
+                    Code::D004,
+                    line_no,
+                    format!("unseeded randomness (`{pat}`); all randomness must flow from an explicit seed"),
+                );
+            }
+        }
+        if d002_applies {
+            let trimmed = line.trim_start();
+            let is_use = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+            if !is_use {
+                for word in ["HashMap", "HashSet"] {
+                    if find_bounded(line, word).is_some() {
+                        push(
+                            Code::D002,
+                            line_no,
+                            format!(
+                                "`{word}` in simulation-affecting code; hash iteration order can \
+                                 leak into traces, reports, or flow scheduling — use \
+                                 BTreeMap/BTreeSet, or allow(D002) with a lookup-only reason"
+                            ),
+                        );
+                    }
+                }
+            }
+            for name in &hash_idents {
+                let method_hit = ITER_METHODS.iter().any(|m| {
+                    let pat = format!("{name}{m}");
+                    find_bounded(line, &pat).is_some()
+                });
+                let for_hit = line.contains("for ")
+                    && line
+                        .find(" in ")
+                        .is_some_and(|p| find_bounded(&line[p + 4..], name).is_some());
+                if method_hit || for_hit {
+                    push(
+                        Code::D002,
+                        line_no,
+                        format!("order-dependent iteration over hash collection `{name}`"),
+                    );
+                }
+            }
+            // D006: panicking on an I/O result in non-test library
+            // code. The I/O call is looked for on the same line, or —
+            // for builder-chained call sites — on the line above when
+            // this line is a continuation (starts with `.`).
+            if !in_test.get(idx).copied().unwrap_or(false)
+                && (line.contains(".unwrap()") || line.contains(".expect("))
+            {
+                let io_here = IO_PATTERNS.iter().any(|p| line.contains(p));
+                let io_chained = line.trim_start().starts_with('.')
+                    && idx > 0
+                    && IO_PATTERNS.iter().any(|p| clines[idx - 1].contains(p));
+                if io_here || io_chained {
+                    push(
+                        Code::D006,
+                        line_no,
+                        "`.unwrap()`/`.expect(` on an I/O result in non-test code; \
+                         surface a typed error instead — I/O can fail at any time"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    raw
+}

@@ -1,0 +1,362 @@
+//! Source cleaning and low-level matching primitives.
+//!
+//! The scanner never parses Rust; it works on a *cleaned* image of each
+//! file in which comment and literal contents are blanked to spaces while
+//! the byte-for-byte line structure is preserved. Two cleaned views are
+//! produced in one pass:
+//!
+//! * [`Cleaned::text`] — comments **and** string/char-literal contents
+//!   blanked; the view every token rule matches against.
+//! * [`Cleaned::text_strings`] — comments blanked but string contents
+//!   kept; the view the D009 registry pass reads counter-name literals
+//!   from (a counter name only exists inside a string).
+
+/// A source file with comments and literals blanked, plus the collected
+/// comment bodies (the suppression-directive carrier).
+pub struct Cleaned {
+    /// Source with comment and literal contents replaced by spaces;
+    /// byte-for-byte line structure preserved.
+    pub text: String,
+    /// Source with comments blanked but string literal contents kept.
+    pub text_strings: String,
+    /// `(line, body)` of every comment, body including the slashes.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Is `c` an identifier character (`[A-Za-z0-9_]` plus unicode alnum)?
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Cleans Rust source: blanks comments, strings, and char literals from
+/// the primary view (keeping strings in the secondary view), collecting
+/// comment bodies.
+pub fn clean_rust(src: &str) -> Cleaned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut out_s = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let mut prev_ident = false; // was the previous emitted char an ident char?
+
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    // Emit a blanked char to the primary view and the raw char to the
+    // string-preserving view.
+    macro_rules! keep_in_strings {
+        ($c:expr) => {{
+            out.push(blank($c));
+            out_s.push($c);
+        }};
+    }
+    macro_rules! blank_both {
+        ($c:expr) => {{
+            out.push(blank($c));
+            out_s.push(blank($c));
+        }};
+    }
+    macro_rules! emit_both {
+        ($c:expr) => {{
+            out.push($c);
+            out_s.push($c);
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            let mut body = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                body.push(chars[i]);
+                blank_both!(' ');
+                i += 1;
+            }
+            comments.push((start_line, body));
+            prev_ident = false;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank_both!(' ');
+                    blank_both!(' ');
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank_both!(' ');
+                    blank_both!(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    blank_both!(chars[i]);
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw string r"..." / r#"..."# / br#"..."# (no escapes inside).
+        if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'))) && !prev_ident {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Blank the prefix and opening quote.
+                for &c in &chars[i..=j] {
+                    blank_both!(c);
+                }
+                i = j + 1;
+                // Scan to `"` followed by `hashes` hashes.
+                while i < chars.len() {
+                    if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
+                        for _ in 0..=hashes {
+                            blank_both!(' ');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    keep_in_strings!(chars[i]);
+                    i += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+        }
+        // Normal (or byte) string with escapes.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_ident) {
+            if c == 'b' {
+                blank_both!(' ');
+                i += 1;
+            }
+            out.push(' '); // opening quote
+            out_s.push('"');
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    keep_in_strings!('\\');
+                    if i + 1 < chars.len() {
+                        if chars[i + 1] == '\n' {
+                            line += 1;
+                            blank_both!('\n');
+                        } else {
+                            keep_in_strings!(chars[i + 1]);
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    out.push(' ');
+                    out_s.push('"');
+                    i += 1;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                    blank_both!('\n');
+                } else {
+                    keep_in_strings!(chars[i]);
+                }
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(n) => chars.get(i + 2) == Some(&'\'') && n != '\'',
+                None => false,
+            };
+            if is_char_lit {
+                blank_both!(' ');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        blank_both!(' ');
+                        if i + 1 < chars.len() {
+                            blank_both!(' ');
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        blank_both!(' ');
+                        i += 1;
+                        break;
+                    }
+                    blank_both!(' ');
+                    i += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+        }
+        emit_both!(c);
+        prev_ident = is_ident(c);
+        i += 1;
+    }
+    Cleaned {
+        text: out,
+        text_strings: out_s,
+        comments,
+    }
+}
+
+/// Strips `#` comments from TOML (string-aware), collecting their bodies.
+/// String values are kept intact so key/value parsing still works.
+pub fn clean_toml(src: &str) -> Cleaned {
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut in_basic = false;
+        let mut in_literal = false;
+        let mut cut = raw_line.len();
+        let mut iter = raw_line.char_indices().peekable();
+        while let Some((p, ch)) = iter.next() {
+            match ch {
+                '"' if !in_literal => in_basic = !in_basic,
+                '\\' if in_basic => {
+                    iter.next();
+                }
+                '\'' if !in_basic => in_literal = !in_literal,
+                '#' if !in_basic && !in_literal => {
+                    cut = p;
+                    comments.push((line_no, raw_line[p..].to_string()));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push_str(&raw_line[..cut]);
+        for _ in cut..raw_line.len() {
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    Cleaned {
+        text_strings: out.clone(),
+        text: out,
+        comments,
+    }
+}
+
+/// Does `pat` occur in `hay` with no identifier character hugging either
+/// end? Returns the byte offset of the first such occurrence.
+pub fn find_bounded(hay: &str, pat: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(pat) {
+        let at = from + rel;
+        let before_ok = hay[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = hay[at + pat.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + pat.len().max(1);
+    }
+    None
+}
+
+/// Per-line mask of `#[cfg(test)]`-gated regions, brace-tracked on the
+/// cleaned text (so the attribute inside a string does not arm it).
+/// Rules that only apply to shipping library code (D006, D007, D009
+/// collection) skip masked lines: tests panicking on I/O or juggling raw
+/// literals is idiomatic.
+pub fn test_region_mask(cleaned_text: &str) -> Vec<bool> {
+    let lines: Vec<&str> = cleaned_text.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i64;
+    let mut armed = false; // attribute seen, opening brace not yet
+    for (i, line) in lines.iter().enumerate() {
+        let scan_from;
+        if depth == 0 && !armed {
+            match line.find("#[cfg(test)]") {
+                Some(p) => {
+                    armed = true;
+                    scan_from = p;
+                }
+                None => continue,
+            }
+        } else {
+            scan_from = 0;
+        }
+        mask[i] = true;
+        for c in line[scan_from..].chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    armed = false;
+                }
+                '}' => depth = (depth - 1).max(0),
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_strips_strings_and_comments() {
+        let src = "let s = \"Instant::now\"; // Instant::now\nlet c = 'x';\n";
+        let c = clean_rust(src);
+        assert!(!c.text.contains("Instant"));
+        assert_eq!(c.comments.len(), 1);
+        assert_eq!(c.text.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn string_preserving_view_keeps_literals_but_not_comments() {
+        let src = "obs.counter_add(\"serve.hits\", 1.0); // counter_add(\"nope\")\n";
+        let c = clean_rust(src);
+        assert!(!c.text.contains("serve.hits"));
+        assert!(c.text_strings.contains("\"serve.hits\""));
+        assert!(!c.text_strings.contains("nope"));
+        assert_eq!(c.text.len(), c.text_strings.len());
+    }
+
+    #[test]
+    fn clean_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"thread_rng\"#;\n";
+        let c = clean_rust(src);
+        assert!(c.text.contains("<'a>"), "lifetimes survive: {}", c.text);
+        assert!(!c.text.contains("thread_rng"));
+        assert!(c.text_strings.contains("thread_rng"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved_in_both_views() {
+        let src = "let a = \"multi\nline\";\n/* block\ncomment */\nlet b = 1;\n";
+        let c = clean_rust(src);
+        assert_eq!(c.text.lines().count(), src.lines().count());
+        assert_eq!(c.text_strings.lines().count(), src.lines().count());
+    }
+}

@@ -1,0 +1,103 @@
+//! Core lint types: the rule catalog ([`Code`]) and [`Finding`].
+
+use std::fmt;
+
+/// Lint codes. `D000` marks a malformed suppression and `D008` a stale
+/// one; neither is itself suppressible (a bad or dead directive must be
+/// fixed or deleted, not hidden behind another directive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Malformed or reason-less suppression directive.
+    D000,
+    /// Wall-clock read outside the diagnostics allowlist.
+    D001,
+    /// Hash-ordered collection in simulation-affecting code.
+    D002,
+    /// NaN-unsafe float ordering (`partial_cmp`).
+    D003,
+    /// Unseeded randomness.
+    D004,
+    /// Crate-layering violation.
+    D005,
+    /// Panicking I/O (`.unwrap()`/`.expect(`) in non-test library code.
+    D006,
+    /// Unit-consistency violation: mixed-dimension arithmetic without a
+    /// recognized `mobius_sim::units` conversion.
+    D007,
+    /// Stale suppression: an `allow(Dxxx)` that suppresses no finding.
+    D008,
+    /// Observability-registry drift: counters/gauges/lanes out of sync
+    /// with the DESIGN.md obs registry table.
+    D009,
+}
+
+impl Code {
+    /// Every rule in the catalog, in code order. The crate-doc catalog
+    /// table is checked against this list by a meta-consistency test.
+    pub const ALL: [Code; 10] = [
+        Code::D000,
+        Code::D001,
+        Code::D002,
+        Code::D003,
+        Code::D004,
+        Code::D005,
+        Code::D006,
+        Code::D007,
+        Code::D008,
+        Code::D009,
+    ];
+
+    /// The canonical `Dxxx` spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::D000 => "D000",
+            Code::D001 => "D001",
+            Code::D002 => "D002",
+            Code::D003 => "D003",
+            Code::D004 => "D004",
+            Code::D005 => "D005",
+            Code::D006 => "D006",
+            Code::D007 => "D007",
+            Code::D008 => "D008",
+            Code::D009 => "D009",
+        }
+    }
+
+    /// Parses a suppressible code (`D001`–`D007`, `D009`). `D000` and
+    /// `D008` (and unknown spellings) return `None`: a malformed or stale
+    /// directive cannot be waved through by another directive.
+    #[must_use]
+    pub fn parse_allowable(s: &str) -> Option<Code> {
+        match s {
+            "D001" => Some(Code::D001),
+            "D002" => Some(Code::D002),
+            "D003" => Some(Code::D003),
+            "D004" => Some(Code::D004),
+            "D005" => Some(Code::D005),
+            "D006" => Some(Code::D006),
+            "D007" => Some(Code::D007),
+            "D009" => Some(Code::D009),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding: a rule violated at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint code.
+    pub code: Code,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}

@@ -1,0 +1,18 @@
+//! D007 fixture twin: every mixed-unit site either routes through a
+//! named conversion (the preferred fix) or carries a reasoned allow.
+
+pub const NS_PER_MS_U64: u64 = 1_000_000;
+
+pub fn deadline(start_ns: u64, timeout_ms: u64) -> u64 {
+    start_ns + timeout_ms * NS_PER_MS_U64
+}
+
+pub fn over_budget(elapsed_secs: f64, budget_ns: f64) -> bool {
+    // mobius-lint: allow(D007, reason = "fixture: demonstrates an own-line allow")
+    elapsed_secs > budget_ns
+}
+
+pub fn adhoc_scale(elapsed_secs: f64) -> f64 {
+    let dur_ns = elapsed_secs * 1e9; // mobius-lint: allow(D007, reason = "fixture: trailing allow")
+    dur_ns
+}

@@ -1,0 +1,14 @@
+//! D007 fixture: cross-dimension arithmetic without a named conversion.
+
+pub fn deadline(start_ns: u64, timeout_ms: u64) -> u64 {
+    start_ns + timeout_ms
+}
+
+pub fn over_budget(elapsed_secs: f64, budget_ns: f64) -> bool {
+    elapsed_secs > budget_ns
+}
+
+pub fn adhoc_scale(elapsed_secs: f64) -> f64 {
+    let dur_ns = elapsed_secs * 1e9;
+    dur_ns
+}

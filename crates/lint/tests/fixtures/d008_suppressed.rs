@@ -1,0 +1,14 @@
+//! D008 twin: D008 itself is deliberately unsuppressible — the only fix
+//! for a dead allow is deleting it. This twin shows the same directives
+//! kept *live* by real findings, which yields zero findings of any kind.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    // mobius-lint: allow(D001, reason = "fixture: live wall-clock read")
+    Instant::now().elapsed().as_nanos()
+}
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> { // mobius-lint: allow(D002, reason = "fixture: lookup-only map")
+    m.get(&k).copied()
+}

@@ -1,0 +1,9 @@
+//! D009 twin: the same emissions, each undocumented name carrying a
+//! reasoned `allow(D009)` settled by the workspace registry pass.
+
+pub fn emit(obs: &Obs) {
+    // mobius-lint: allow(D009, reason = "fixture: experimental counter, not yet in the registry")
+    obs.counter_add("orphan.count", 1);
+    obs.gauge_set("orphan.gauge", 1.0); // mobius-lint: allow(D009, reason = "fixture: trailing allow")
+    obs.span(Lane::Run, "step");
+}

@@ -1,0 +1,9 @@
+//! D009 fixture: emits obs names for the registry cross-check. Paired
+//! with `d009_registry_trigger.md` (a dead row + missing rows) or
+//! `d009_registry_ok.md` by the integration tests.
+
+pub fn emit(obs: &Obs) {
+    obs.counter_add("orphan.count", 1);
+    obs.gauge_set("orphan.gauge", 1.0);
+    obs.span(Lane::Run, "step");
+}

@@ -1,7 +1,9 @@
-//! Fixture-driven integration tests: every lint D001–D006 is demonstrated
+//! Fixture-driven integration tests: every lint D001–D009 is demonstrated
 //! by a triggering fixture and silenced by its suppressed twin, reason-less
-//! allows are themselves findings, and the live workspace self-lints clean.
+//! allows are themselves findings, the doc catalog matches the `Code` enum,
+//! and the live workspace self-lints clean.
 
+use std::fs;
 use std::path::Path;
 
 use mobius_lint::{render_json, scan_cargo_toml, scan_rust_source, scan_workspace, Code, Finding};
@@ -161,6 +163,170 @@ fn d006_ignores_non_io_unwraps() {
     assert_eq!(
         codes(&scan_rust_source("crates/x/src/lib.rs", src, true)),
         Vec::new()
+    );
+}
+
+#[test]
+fn d007_trigger_fires_and_suppressed_twin_is_clean() {
+    let hits = scan_fixture("d007_trigger.rs", include_str!("fixtures/d007_trigger.rs"));
+    let d007: Vec<_> = hits.iter().filter(|f| f.code == Code::D007).collect();
+    assert_eq!(
+        d007.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![4, 8, 12],
+        "additive, comparison, and assignment boundaries must all fire: {hits:?}"
+    );
+    assert!(
+        d007.iter().all(|f| f.message.contains("mixed units")),
+        "{d007:?}"
+    );
+    let clean = scan_fixture(
+        "d007_suppressed.rs",
+        include_str!("fixtures/d007_suppressed.rs"),
+    );
+    assert_eq!(
+        clean,
+        Vec::new(),
+        "a named conversion and both allow placements must all hold"
+    );
+}
+
+#[test]
+fn d007_does_not_apply_outside_simulation_affecting_code() {
+    let src = include_str!("fixtures/d007_trigger.rs");
+    let in_tests = scan_rust_source("tests/some_test.rs", src, false);
+    assert_eq!(codes(&in_tests), Vec::new());
+}
+
+#[test]
+fn d008_trigger_fires_and_live_twin_is_clean() {
+    let hits = scan_fixture("d008_trigger.rs", include_str!("fixtures/d008_trigger.rs"));
+    let d008: Vec<_> = hits.iter().filter(|f| f.code == Code::D008).collect();
+    assert_eq!(
+        d008.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![3, 8],
+        "own-line and trailing dead allows must both fire at the directive: {hits:?}"
+    );
+    assert!(
+        d008.iter().all(|f| f.message.contains("stale suppression")),
+        "{d008:?}"
+    );
+    // D008 has no suppressed twin — it is unsuppressible by design. The
+    // twin fixture instead keeps the same directives *live*.
+    let clean = scan_fixture(
+        "d008_suppressed.rs",
+        include_str!("fixtures/d008_suppressed.rs"),
+    );
+    assert_eq!(clean, Vec::new(), "a used allow is not stale");
+}
+
+/// Materializes a one-crate workspace under `target/tmp` so
+/// [`scan_workspace`] — the only pass that owns the D009 registry
+/// cross-check and `allow(D009)` settlement — can run against fixtures.
+fn write_workspace(name: &str, design_md: &str, lib_rs: &str) -> std::path::PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/obs/src");
+    fs::create_dir_all(&src).expect("fixture workspace dirs");
+    fs::write(
+        root.join("crates/obs/Cargo.toml"),
+        "[package]\nname = \"mobius-obs\"\n",
+    )
+    .expect("fixture manifest");
+    fs::write(src.join("lib.rs"), lib_rs).expect("fixture lib.rs");
+    fs::write(root.join("DESIGN.md"), design_md).expect("fixture DESIGN.md");
+    root
+}
+
+#[test]
+fn d009_flags_drift_in_both_directions() {
+    let root = write_workspace(
+        "d009_trigger",
+        include_str!("fixtures/d009_registry_trigger.md"),
+        include_str!("fixtures/d009_trigger.rs"),
+    );
+    let findings = scan_workspace(&root).expect("fixture workspace scan");
+    assert_eq!(codes(&findings), vec![Code::D009; 3], "{findings:?}");
+    let dead_row = &findings[0];
+    assert_eq!(dead_row.path, "DESIGN.md");
+    assert!(
+        dead_row.message.contains("ghost.count")
+            && dead_row.message.contains("dead obs-registry row"),
+        "a documented-but-never-emitted name must fail at its row: {dead_row:?}"
+    );
+    let undocumented: Vec<_> = findings[1..]
+        .iter()
+        .map(|f| (f.path.as_str(), f.message.clone()))
+        .collect();
+    for (name, kind) in [("orphan.count", "counter"), ("orphan.gauge", "gauge")] {
+        assert!(
+            undocumented
+                .iter()
+                .any(|(p, m)| *p == "crates/obs/src/lib.rs"
+                    && m.contains(name)
+                    && m.contains(kind)),
+            "undocumented {kind} `{name}` must fail at its use site: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn d009_suppressed_twin_workspace_is_clean() {
+    let root = write_workspace(
+        "d009_suppressed",
+        include_str!("fixtures/d009_registry_ok.md"),
+        include_str!("fixtures/d009_suppressed.rs"),
+    );
+    let findings = scan_workspace(&root).expect("fixture workspace scan");
+    assert_eq!(
+        findings,
+        Vec::new(),
+        "allow(D009) at both placements must settle against the registry pass:\n{}",
+        mobius_lint::render_human(&findings)
+    );
+}
+
+#[test]
+fn d009_missing_registry_fence_is_one_finding() {
+    let root = write_workspace(
+        "d009_no_fence",
+        "# Fixture design doc with no registry table\n",
+        include_str!("fixtures/d009_suppressed.rs"),
+    );
+    let findings = scan_workspace(&root).expect("fixture workspace scan");
+    // The missing fence is reported once at DESIGN.md:1 (sorted first by
+    // path); the pending allow(D009)s find no matching findings and go
+    // stale.
+    assert_eq!(
+        codes(&findings),
+        vec![Code::D009, Code::D008, Code::D008],
+        "{findings:?}"
+    );
+    let fence = findings
+        .iter()
+        .find(|f| f.code == Code::D009)
+        .expect("fence");
+    assert_eq!((fence.path.as_str(), fence.line), ("DESIGN.md", 1));
+    assert!(fence.message.contains("obs-registry table not found"));
+}
+
+/// Meta-consistency: the lint catalog table in the crate's `//!` header
+/// must list exactly the [`Code`] variants — a rule added without docs
+/// (or documented without existing) fails here.
+#[test]
+fn doc_catalog_table_matches_code_enum() {
+    let doc = include_str!("../src/lib.rs");
+    let documented: Vec<&str> = doc
+        .lines()
+        .filter_map(|l| l.strip_prefix("//! | D"))
+        .filter_map(|l| l.split('|').next())
+        .map(str::trim)
+        .collect();
+    let expected: Vec<String> = Code::ALL
+        .iter()
+        .map(|c| c.as_str()[1..].to_string())
+        .collect();
+    assert_eq!(
+        documented, expected,
+        "lib.rs `//!` catalog rows must list exactly Code::ALL, in order"
     );
 }
 

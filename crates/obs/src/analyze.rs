@@ -511,7 +511,7 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
-fn ms(ns: u64) -> f64 {
+fn ns_to_ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
 
@@ -587,7 +587,7 @@ impl Analysis {
             out,
             "mobius-analyze: {} step(s), {:.3} ms total",
             self.steps.len(),
-            ms(self.total_ns)
+            ns_to_ms(self.total_ns)
         );
         for s in &self.steps {
             let dur = s.end_ns - s.start_ns;
@@ -595,9 +595,9 @@ impl Analysis {
                 out,
                 "\nstep {}  [{:.3} ms .. {:.3} ms]  dur {:.3} ms{}  ({} critical segments)",
                 s.step,
-                ms(s.start_ns),
-                ms(s.end_ns),
-                ms(dur),
+                ns_to_ms(s.start_ns),
+                ns_to_ms(s.end_ns),
+                ns_to_ms(dur),
                 if s.cluster { "  (cluster-synced)" } else { "" },
                 s.path.len(),
             );
@@ -607,7 +607,7 @@ impl Analysis {
                     out,
                     "    {:<8} {:>10.3} ms  {:>5.1}%",
                     class,
-                    ms(*ns),
+                    ns_to_ms(*ns),
                     pct(*ns, dur)
                 );
             }
@@ -624,7 +624,7 @@ impl Analysis {
                     out,
                     "    {:<16} {:>10.3} ms  {:>5.1}% of path  (busy {:>5.1}% of step)",
                     key,
-                    ms(**ns),
+                    ns_to_ms(**ns),
                     pct(**ns, dur),
                     util
                 );
@@ -640,7 +640,7 @@ impl Analysis {
                     out,
                     "    {:<8} {:>10.3} ms  ({speedup:.2}x bound)",
                     class,
-                    ms(*new_ns)
+                    ns_to_ms(*new_ns)
                 );
             }
             // GPU bubble attribution: where each GPU's idle time went.
@@ -657,9 +657,9 @@ impl Analysis {
                         "    {:<8} busy {:>5.1}%  warmup {:.3} ms  drain {:.3} ms  stall {:.3} ms",
                         key,
                         pct(u.busy_ns, dur),
-                        ms(u.warmup_ns),
-                        ms(u.drain_ns),
-                        ms(u.stall_ns)
+                        ns_to_ms(u.warmup_ns),
+                        ns_to_ms(u.drain_ns),
+                        ns_to_ms(u.stall_ns)
                     );
                 }
             }
@@ -675,7 +675,7 @@ impl Analysis {
                 out,
                 "  {:<8} total {:>10.3} ms  ({speedup:.2}x bound)",
                 class,
-                ms(*new_ns)
+                ns_to_ms(*new_ns)
             );
         }
         out

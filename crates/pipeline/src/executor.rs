@@ -32,6 +32,7 @@ use std::collections::HashMap;
 
 use mobius_mapping::Mapping;
 use mobius_obs::{AttrValue, DagDep, Lane, Obs, ResourceId};
+use mobius_sim::units::secs_to_ms;
 use mobius_sim::{
     CommKind, Engine, FaultAbort, FaultKind, FaultSchedule, FaultStats, FlowId, InvariantViolation,
     LinkId, SimTime, TraceRecorder,
@@ -932,7 +933,10 @@ impl Executor<'_> {
                             "fault",
                             "transfer-stall",
                             now.as_nanos(),
-                            vec![("duration_ms", AttrValue::F64(duration.as_secs_f64() * 1e3))],
+                            vec![(
+                                "duration_ms",
+                                AttrValue::F64(secs_to_ms(duration.as_secs_f64())),
+                            )],
                         );
                     }
                 }

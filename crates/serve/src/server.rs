@@ -31,6 +31,7 @@ use mobius::fingerprint::{fingerprint_of, model_fingerprint, topology_fingerprin
 use mobius::{pricing, FineTuner, System};
 use mobius_model::{GptConfig, Model};
 use mobius_obs::{AttrValue, Lane, Obs};
+use mobius_sim::units::{secs_to_us, NS_PER_US_U64};
 use mobius_topology::{GpuSpec, Topology};
 
 use crate::cache::{Entry, PlanCache};
@@ -297,7 +298,7 @@ impl Server {
         let map: Vec<usize> = (0..plan.mapping.num_stages())
             .map(|s| plan.mapping.gpu_of(s))
             .collect();
-        let step_us = plan.predicted_step.as_secs_f64() * 1e6;
+        let step_us = secs_to_us(plan.predicted_step.as_secs_f64());
         let plan_payload = format!(
             "model={} topo={} stages={:?} map={:?} predicted_step_us={:.3} contention={:.3}",
             target.model_name,
@@ -380,13 +381,13 @@ impl Server {
     /// simulated clock, and returns the latency charged.
     fn finish_request(&mut self, verb: &str, cache_tag: &str, latency_us: u64) -> u64 {
         if let Some(obs) = &self.cfg.obs {
-            let start_ns = self.clock_us * 1_000;
+            let start_ns = self.clock_us * NS_PER_US_U64;
             obs.span(
                 Lane::Serve,
                 "serve",
                 verb.to_string(),
                 start_ns,
-                start_ns + latency_us * 1_000,
+                start_ns + latency_us * NS_PER_US_U64,
                 vec![("cache", AttrValue::Str(cache_tag.to_string()))],
             );
             obs.histogram_record("serve.latency_us", &LATENCY_US_BUCKETS, latency_us as f64);

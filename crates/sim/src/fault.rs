@@ -389,7 +389,7 @@ impl FaultSchedule {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("bad time `{s}` (ms)"));
             }
-            Ok(SimTime::from_nanos((v * 1e6) as u64))
+            Ok(SimTime::from_nanos(crate::units::ms_to_ns(v) as u64))
         }
         fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
             s.parse().map_err(|_| format!("bad {what} `{s}`"))

@@ -86,7 +86,7 @@ impl FlowRecord {
 
     /// Average achieved bandwidth in GB/s (10^9 bytes per second).
     pub fn avg_gbps(&self) -> f64 {
-        self.avg_rate() / 1e9
+        crate::units::bytes_per_sec_to_gbps(self.avg_rate())
     }
 }
 
@@ -324,7 +324,7 @@ impl FlowNetwork {
             // Round *up* to the next nanosecond so that advancing to the
             // completion instant always drains the flow fully (rounding to
             // nearest can leave a few bytes at multi-GB/s rates).
-            let ns = (dt * 1e9).ceil();
+            let ns = crate::units::secs_to_ns(dt).ceil();
             let at = self.now
                 + if ns >= u64::MAX as f64 {
                     SimTime::MAX

@@ -15,6 +15,9 @@
 //! * [`FaultSchedule`] / [`FaultStats`] — deterministic, seeded fault
 //!   injection (degraded links, stragglers, transfer stalls, GPU loss)
 //!   that executors replay as ordinary engine events.
+//! * [`units`] — named unit-conversion constants and helpers
+//!   (`NS_PER_SEC`, `gbps_to_bytes_per_sec`, …); the sanctioned,
+//!   D007-lint-recognized way to move a value between dimensions.
 //!
 //! # Example: two GPUs contending on one root complex
 //!
@@ -45,6 +48,7 @@ mod flow;
 mod intervals;
 mod time;
 mod trace;
+pub mod units;
 mod validate;
 
 pub use engine::{Engine, EngineStats, ReferenceEngine};

@@ -4,6 +4,7 @@
 //! doubles as a duration type (the difference of two instants), which keeps
 //! the event-queue arithmetic simple and allocation-free.
 
+use crate::units;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -43,17 +44,17 @@ impl SimTime {
 
     /// Creates a time from whole microseconds.
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us * units::NS_PER_US_U64)
     }
 
     /// Creates a time from whole milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms * units::NS_PER_MS_U64)
     }
 
     /// Creates a time from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s * units::NS_PER_SEC_U64)
     }
 
     /// Creates a time from fractional seconds, rounding to the nearest
@@ -63,7 +64,7 @@ impl SimTime {
         if !s.is_finite() || s <= 0.0 {
             return SimTime::ZERO;
         }
-        let ns = s * 1e9;
+        let ns = units::secs_to_ns(s);
         if ns >= u64::MAX as f64 {
             SimTime::MAX
         } else {
@@ -78,12 +79,12 @@ impl SimTime {
 
     /// Time as fractional seconds.
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
+        units::ns_to_secs(self.0 as f64)
     }
 
     /// Time as fractional milliseconds.
     pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1e6
+        units::ns_to_ms(self.0 as f64)
     }
 
     /// Saturating difference: `self - other`, or zero when `other` is later.
@@ -148,9 +149,9 @@ impl fmt::Display for SimTime {
         if s >= 1.0 {
             write!(f, "{s:.3}s")
         } else if s >= 1e-3 {
-            write!(f, "{:.3}ms", s * 1e3)
+            write!(f, "{:.3}ms", units::secs_to_ms(s))
         } else {
-            write!(f, "{:.3}us", s * 1e6)
+            write!(f, "{:.3}us", units::secs_to_us(s))
         }
     }
 }

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use mobius_obs::{AttrValue, Lane, Obs, GBPS_BUCKETS};
 use serde::{Deserialize, Serialize};
 
+use crate::units::bytes_per_sec_to_gbps;
 use crate::{FlowRecord, IntervalSet, LinkId, SimTime};
 
 /// Categories of transfers, used for traffic breakdowns.
@@ -248,7 +249,7 @@ impl TraceRecorder {
     /// the transfer occupied (one for DRAM↔GPU copies, two for GPU↔GPU).
     pub fn record_flow(&mut self, rec: &FlowRecord, kind: CommKind, gpus: &[usize]) {
         let seconds = (rec.finished - rec.started).as_secs_f64().max(1e-12);
-        let gbps = rec.bytes / seconds / 1e9;
+        let gbps = bytes_per_sec_to_gbps(rec.bytes / seconds);
         self.samples.push(BandwidthSample {
             bytes: rec.bytes,
             seconds,

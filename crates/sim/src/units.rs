@@ -1,0 +1,171 @@
+//! Named unit-conversion constants and helpers.
+//!
+//! Every quantity in this workspace is plain `f64`/`u64` arithmetic whose
+//! dimension lives only in an identifier suffix (`_ns`, `_secs`, `_bytes`,
+//! `_gb`, `_gbps`, …). Ad-hoc magic literals (`* 1e9`, `/ 1e6`) at the
+//! conversion points are exactly where bytes-vs-GB and ns-vs-secs slips
+//! hide, so all cross-dimension conversions route through this module:
+//! the names are greppable, the factors are written once, and the D007
+//! unit-consistency lint (`mobius-lint`) recognizes them as the sanctioned
+//! way to move a value between dimensions.
+//!
+//! Conventions (matching the rest of the workspace):
+//!
+//! * time is nanoseconds on the simulated clock ([`crate::SimTime`]);
+//! * data volumes are bytes; `_gb` means *decimal* gigabytes (1e9 bytes) —
+//!   binary `1 << 30` capacities are memory sizes, not unit conversions,
+//!   and stay out of this module;
+//! * `_gbps` means decimal gigabytes per second, so 1 GB/s is exactly
+//!   1 byte/ns.
+//!
+//! Each helper is a single multiply or divide by the named constant — the
+//! same floating-point operation as the literal it replaces, so migrating
+//! a call site is bit-identical by construction.
+
+/// Nanoseconds per second.
+pub const NS_PER_SEC: f64 = 1e9;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: f64 = 1e6;
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: f64 = 1e3;
+/// Milliseconds per second.
+pub const MS_PER_SEC: f64 = 1e3;
+/// Microseconds per second.
+pub const US_PER_SEC: f64 = 1e6;
+/// Bytes per (decimal) gigabyte.
+pub const BYTES_PER_GB: f64 = 1e9;
+
+/// Integer nanoseconds per second, for exact [`crate::SimTime`]-style
+/// arithmetic on `u64` clocks.
+pub const NS_PER_SEC_U64: u64 = 1_000_000_000;
+/// Integer nanoseconds per millisecond.
+pub const NS_PER_MS_U64: u64 = 1_000_000;
+/// Integer nanoseconds per microsecond.
+pub const NS_PER_US_U64: u64 = 1_000;
+
+/// Seconds → nanoseconds.
+#[must_use]
+pub fn secs_to_ns(secs: f64) -> f64 {
+    secs * NS_PER_SEC
+}
+
+/// Nanoseconds → seconds.
+#[must_use]
+pub fn ns_to_secs(ns: f64) -> f64 {
+    ns / NS_PER_SEC
+}
+
+/// Nanoseconds → milliseconds.
+#[must_use]
+pub fn ns_to_ms(ns: f64) -> f64 {
+    ns / NS_PER_MS
+}
+
+/// Milliseconds → nanoseconds.
+#[must_use]
+pub fn ms_to_ns(ms: f64) -> f64 {
+    ms * NS_PER_MS
+}
+
+/// Seconds → milliseconds.
+#[must_use]
+pub fn secs_to_ms(secs: f64) -> f64 {
+    secs * MS_PER_SEC
+}
+
+/// Seconds → microseconds.
+#[must_use]
+pub fn secs_to_us(secs: f64) -> f64 {
+    secs * US_PER_SEC
+}
+
+/// Decimal gigabytes → bytes.
+#[must_use]
+pub fn gb_to_bytes(gb: f64) -> f64 {
+    gb * BYTES_PER_GB
+}
+
+/// Bytes → decimal gigabytes.
+#[must_use]
+pub fn bytes_to_gb(bytes: f64) -> f64 {
+    bytes / BYTES_PER_GB
+}
+
+/// Gigabytes-per-second → bytes-per-second (link capacities, flow rates).
+#[must_use]
+pub fn gbps_to_bytes_per_sec(gbps: f64) -> f64 {
+    gbps * BYTES_PER_GB
+}
+
+/// Bytes-per-second → gigabytes-per-second (reporting observed rates).
+#[must_use]
+pub fn bytes_per_sec_to_gbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / BYTES_PER_GB
+}
+
+/// Gigabytes-per-second → bytes-per-nanosecond. Since a decimal gigabyte
+/// is 1e9 bytes and a second is 1e9 ns, the factor is exactly 1: a
+/// 12.5 GB/s NIC moves 12.5 bytes every nanosecond.
+#[must_use]
+pub fn gbps_to_bytes_per_ns(gbps: f64) -> f64 {
+    gbps * (BYTES_PER_GB / NS_PER_SEC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_exact() {
+        assert_eq!(NS_PER_SEC, 1e9);
+        assert_eq!(NS_PER_MS, 1e6);
+        assert_eq!(NS_PER_US, 1e3);
+        assert_eq!(MS_PER_SEC, 1e3);
+        assert_eq!(US_PER_SEC, 1e6);
+        assert_eq!(BYTES_PER_GB, 1e9);
+        assert_eq!(NS_PER_SEC_U64 as f64, NS_PER_SEC);
+        assert_eq!(NS_PER_MS_U64 as f64, NS_PER_MS);
+        assert_eq!(NS_PER_US_U64 as f64, NS_PER_US);
+    }
+
+    #[test]
+    fn time_round_trips_are_exact_for_representable_values() {
+        assert_eq!(secs_to_ns(1.5), 1.5e9);
+        assert_eq!(ns_to_secs(1.5e9), 1.5);
+        assert_eq!(ns_to_ms(2.5e6), 2.5);
+        assert_eq!(ms_to_ns(2.5), 2.5e6);
+        assert_eq!(secs_to_ms(0.25), 250.0);
+        assert_eq!(secs_to_us(0.25), 250_000.0);
+        // Factors compose: ms→ns→secs→ms is the identity on powers of two.
+        assert_eq!(secs_to_ms(ns_to_secs(ms_to_ns(0.5))), 0.5);
+    }
+
+    #[test]
+    fn data_and_rate_relations_hold_exactly() {
+        assert_eq!(gb_to_bytes(13.1), 13.1e9);
+        assert_eq!(bytes_to_gb(13.1e9), 13.1);
+        assert_eq!(gbps_to_bytes_per_sec(12.5), 12.5e9);
+        assert_eq!(bytes_per_sec_to_gbps(12.5e9), 12.5);
+        // 1 GB/s is exactly 1 byte/ns, so 8 GB/s over a full second moves
+        // 8 decimal GB: bytes/ns × ns/s == bytes/s.
+        assert_eq!(gbps_to_bytes_per_ns(8.0), 8.0);
+        assert_eq!(
+            gbps_to_bytes_per_ns(8.0) * NS_PER_SEC,
+            gbps_to_bytes_per_sec(8.0)
+        );
+        assert_eq!(gbps_to_bytes_per_ns(1.0) * NS_PER_SEC, 1e9);
+    }
+
+    #[test]
+    fn helpers_are_bit_identical_to_the_literals_they_replace() {
+        for x in [0.0, 1.0, 0.1, 13.1, 1234.5678, 9.9e12] {
+            assert_eq!(secs_to_ns(x).to_bits(), (x * 1e9).to_bits());
+            assert_eq!(ns_to_secs(x).to_bits(), (x / 1e9).to_bits());
+            assert_eq!(ns_to_ms(x).to_bits(), (x / 1e6).to_bits());
+            assert_eq!(ms_to_ns(x).to_bits(), (x * 1e6).to_bits());
+            assert_eq!(secs_to_ms(x).to_bits(), (x * 1e3).to_bits());
+            assert_eq!(gb_to_bytes(x).to_bits(), (x * 1e9).to_bits());
+            assert_eq!(bytes_to_gb(x).to_bits(), (x / 1e9).to_bits());
+        }
+    }
+}

@@ -97,8 +97,8 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "link '{link}' oversubscribed: {:.3} GB/s allocated on {:.3} GB/s capacity",
-                allocated / 1e9,
-                capacity / 1e9
+                crate::units::bytes_per_sec_to_gbps(*allocated),
+                crate::units::bytes_per_sec_to_gbps(*capacity)
             ),
             InvariantViolation::NegativeRate { user, rate } => {
                 write!(f, "flow (user {user}) has negative rate {rate} B/s")

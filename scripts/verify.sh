@@ -17,9 +17,12 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> mobius-lint (determinism & layering gate)"
-# Hard gate: any unsuppressed D001-D005 finding (or a reason-less allow,
-# D000) fails the build. See DESIGN.md § Static analysis.
+echo "==> mobius-lint (determinism, layering, units & obs-registry gate)"
+# Hard gate: any unsuppressed D001-D007/D009 finding, a reason-less allow
+# (D000), or a stale one (D008) fails the build. See DESIGN.md § Static
+# analysis. The scan is timed via the WallSecs diagnostics escape: the
+# binary prints `mobius-lint: wall-secs N` on stderr, which surfaces here
+# without touching stdout (the deterministic finding stream).
 cargo run --release -q -p mobius-lint -- --format human
 
 echo "==> cargo fmt --all -- --check"
